@@ -1,0 +1,76 @@
+// Command figures emits the data series behind Fig. 3 of the paper as CSV:
+// (a) a full power-trace portion covering three coefficient samplings with
+// their visible start peaks, and (b) the three per-branch sub-traces.
+//
+// Usage:
+//
+//	figures -fig 3a -o fig3a.csv
+//	figures -fig 3b -o fig3b.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"reveal/internal/experiments"
+	"reveal/internal/trace"
+)
+
+func main() {
+	fig := flag.String("fig", "3a", "which figure to emit: 3a, 3b, or timing")
+	out := flag.String("o", "", "output file (default stdout)")
+	seed := flag.Uint64("seed", 77, "capture seed")
+	flag.Parse()
+
+	r, err := experiments.RunFig3(*seed)
+	if err != nil {
+		fail(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	switch *fig {
+	case "3a":
+		if err := trace.WriteCSV(w, r.Full); err != nil {
+			fail(err)
+		}
+	case "3b":
+		err := trace.WriteMultiCSV(w,
+			[]string{"noise_positive", "noise_negative", "noise_zero"},
+			[]trace.Trace{r.Positive, r.Negative, r.Zero})
+		if err != nil {
+			fail(err)
+		}
+	case "timing":
+		// Per-coefficient segment lengths (§III-C's time variance).
+		tr, err := experiments.RunTimingVariance(256, *seed)
+		if err != nil {
+			fail(err)
+		}
+		series := make(trace.Trace, len(tr.Lengths))
+		for i, l := range tr.Lengths {
+			series[i] = float64(l)
+		}
+		if err := trace.WriteCSV(w, series); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "segment lengths: min %d, max %d, mean %.1f, %d distinct values\n",
+			tr.Min, tr.Max, tr.Mean, tr.DistinctN)
+	default:
+		fail(fmt.Errorf("unknown figure %q (use 3a, 3b, or timing)", *fig))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,208 @@
+// Command revealctl drives the full RevEAL reproduction: profiling the
+// simulated device, running the single-trace template attack, printing the
+// paper's tables, and demonstrating end-to-end plaintext recovery.
+//
+// Usage:
+//
+//	revealctl table1 [-profile N] [-encryptions N] [-seed S]
+//	revealctl table2 [-seed S]
+//	revealctl attack [-seed S] [-messages N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"reveal/internal/core"
+	"reveal/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "table1":
+		err = runTable1(os.Args[2:])
+	case "table2":
+		err = runTable2(os.Args[2:])
+	case "attack":
+		err = runAttack(os.Args[2:])
+	case "profile":
+		err = runProfile(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "revealctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: revealctl <command> [flags]
+
+commands:
+  table1   reproduce Table I (template-attack confusion matrix)
+  table2   reproduce Table II (per-measurement guessing probabilities)
+  attack   end-to-end single-trace attack with full message recovery
+  profile  run the profiling campaign and save the trained classifier`)
+}
+
+func runTable1(args []string) error {
+	fs := flag.NewFlagSet("table1", flag.ExitOnError)
+	profile := fs.Int("profile", 40, "profiling traces per coefficient value")
+	encryptions := fs.Int("encryptions", 3, "number of single-trace attacks (each covers 2048 coefficients)")
+	seed := fs.Uint64("seed", 1, "experiment seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.Config{Seed: *seed, ProfileTracesPerValue: *profile, AttackEncryptions: *encryptions}
+	fmt.Printf("profiling device (%d traces per value, 29 values)...\n", *profile)
+	s, err := experiments.NewSession(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("attacking %d encryptions...\n", *encryptions)
+	res, err := s.RunTable1()
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatTable1(res, -7, 7))
+	return nil
+}
+
+func runTable2(args []string) error {
+	fs := flag.NewFlagSet("table2", flag.ExitOnError)
+	seed := fs.Uint64("seed", 1, "experiment seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.LowNoise = true // Table II shows the paper's near-certain posteriors
+	cfg.AttackEncryptions = 1
+	fmt.Println("profiling low-noise device...")
+	s, err := experiments.NewSession(cfg)
+	if err != nil {
+		return err
+	}
+	t1, err := s.RunTable1()
+	if err != nil {
+		return err
+	}
+	rows, err := experiments.RunTable2(t1.LastOutcome.E2, t1.LastCapture.Truth.E2)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatTable2(rows))
+	return nil
+}
+
+func runAttack(args []string) error {
+	fs := flag.NewFlagSet("attack", flag.ExitOnError)
+	seed := fs.Uint64("seed", 1, "experiment seed")
+	messages := fs.Int("messages", 2, "number of messages to encrypt and recover")
+	profilePath := fs.String("profile", "", "load a classifier saved by 'revealctl profile' instead of re-profiling")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.LowNoise = true
+	fmt.Println("profiling low-noise device for full recovery...")
+	s, err := experiments.NewSession(cfg)
+	if err != nil {
+		return err
+	}
+	if *profilePath != "" {
+		f, err := os.Open(*profilePath)
+		if err != nil {
+			return err
+		}
+		cls, err := core.ReadClassifier(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		s.Classifier = cls
+		fmt.Printf("loaded classifier from %s\n", *profilePath)
+	}
+	for msg := 0; msg < *messages; msg++ {
+		pt := s.Params.NewPlaintext()
+		for i := range pt.Coeffs {
+			pt.Coeffs[i] = uint64((i*31 + msg*7) % int(s.Params.T))
+		}
+		cap, err := core.CaptureEncryption(s.Device, s.Params, s.Encryptor, pt)
+		if err != nil {
+			return err
+		}
+		out, err := s.Classifier.Attack(cap, s.Params.N)
+		if err != nil {
+			return err
+		}
+		vAcc, sAcc, err := out.E2.Accuracy(cap.Truth.E2)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("message %d: single-trace classification: value %.2f%%, sign %.2f%%\n",
+			msg, 100*vAcc, 100*sAcc)
+		got, _, trials, err := core.RepairAndRecover(s.Params, s.PublicKey, cap.Ciphertext, out.E2, 16, 100000)
+		if err != nil {
+			fmt.Printf("message %d: recovery FAILED: %v\n", msg, err)
+			continue
+		}
+		ok := true
+		for i := range pt.Coeffs {
+			if got.Coeffs[i] != pt.Coeffs[i] {
+				ok = false
+				break
+			}
+		}
+		fmt.Printf("message %d: plaintext recovered from ONE power trace: %v (%d verification trials)\n",
+			msg, ok, trials)
+	}
+	return nil
+}
+
+func runProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	out := fs.String("o", "profile.rvcl", "output file for the trained classifier")
+	seed := fs.Uint64("seed", 1, "device seed")
+	lowNoise := fs.Bool("lownoise", true, "use the low-noise measurement setup")
+	traces := fs.Int("traces", 0, "profiling traces per coefficient value (0 = preset default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var dev *core.Device
+	var opts core.ProfileOptions
+	if *lowNoise {
+		dev = core.NewLowNoiseDevice(*seed)
+		opts = core.HighAccuracyProfileOptions()
+	} else {
+		dev = core.NewDevice(*seed)
+		opts = core.DefaultProfileOptions()
+	}
+	if *traces > 0 {
+		opts.TracesPerValue = *traces
+	}
+	fmt.Printf("profiling (%d traces per value)...\n", opts.TracesPerValue)
+	cls, err := core.Profile(dev, opts)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := core.WriteClassifier(f, cls); err != nil {
+		return err
+	}
+	fmt.Printf("classifier written to %s (sub-trace length %d)\n", *out, cls.Length)
+	return nil
+}

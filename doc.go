@@ -1,0 +1,13 @@
+// Package reveal is a from-scratch Go reproduction of "RevEAL:
+// Single-Trace Side-Channel Leakage of the SEAL Homomorphic Encryption
+// Library" (DATE 2022): a BFV homomorphic encryption library with SEAL
+// v3.2 semantics, an RV32IM device simulator with a power-leakage model,
+// the single-trace template attack on the Gaussian sampler, a lattice
+// reduction toolbox, and the DBDD "LWE with side information" security
+// estimator that reproduces the paper's Tables I-IV and Fig. 3.
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for measured
+// versus published numbers, and the examples/ directory for runnable
+// walkthroughs. The benchmark harness in bench_test.go regenerates every
+// table and figure.
+package reveal

@@ -1,0 +1,44 @@
+// The decryption-side contrast (§II-B of the paper): encryption randomness
+// is fresh per run — hence RevEAL's single-trace attack — but the secret
+// key repeats across decryptions, so the classic multi-trace correlation
+// power analysis applies there. This example recovers a ternary BFV secret
+// key from repeated decryption traces and shows the trace-count trade-off.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"reveal/internal/core"
+	"reveal/internal/sampler"
+)
+
+func main() {
+	const (
+		q = 12289
+		n = 32
+	)
+	dev := core.NewDevice(17)
+	sk := sampler.TernaryPoly(sampler.NewXoshiro256(18), n)
+	fmt.Printf("target: %d-coefficient ternary secret key on the simulated device\n\n", n)
+
+	fmt.Printf("%10s %18s\n", "traces", "key recovery")
+	for _, m := range []int{10, 25, 50, 100, 200} {
+		res, err := core.RunDecryptionAttack(dev, sk, q, m, uint64(m))
+		if err != nil {
+			log.Fatal(err)
+		}
+		rate, err := core.KeyRecoveryRate(res.Recovered, sk)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%10d %17.1f%%\n", m, 100*rate)
+	}
+
+	fmt.Println(`
+reading: CPA key recovery improves with traces — possible against
+decryption because the key repeats. Encryption error polynomials are
+sampled fresh every run, which is exactly why the paper's encryption
+attack must succeed with a SINGLE trace (and why masking-style defenses
+tuned for multi-trace attacks do not stop it).`)
+}

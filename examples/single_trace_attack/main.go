@@ -1,0 +1,86 @@
+// The headline experiment: full plaintext recovery from a single power
+// trace of a SEAL v3.2 BFV encryption (the paper's parameters: n=1024,
+// q=132120577, σ=3.19).
+//
+// Pipeline: profile the device with chosen coefficients (template
+// building) -> capture ONE power trace of a victim encryption -> segment
+// by the sampler peaks -> classify branch + value per coefficient ->
+// verify/repair via the ternary-u oracle -> invert the ciphertext
+// equations (Eq. 2-3) to reveal the message.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"reveal/internal/bfv"
+	"reveal/internal/core"
+	"reveal/internal/sampler"
+)
+
+func main() {
+	fmt.Println("== RevEAL: single-trace attack on BFV encryption ==")
+
+	// The victim: SEAL v3.2 defaults for n=1024 (128-bit security).
+	params := bfv.PaperParameters()
+	prng := sampler.NewXoshiro256(99)
+	kg := bfv.NewKeyGenerator(params, prng)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	enc := bfv.NewEncryptor(params, pk, prng)
+	_ = sk // the attack never touches the secret key
+
+	// The adversary: physical access, profiling capability (§II-B).
+	dev := core.NewLowNoiseDevice(7)
+	fmt.Println("[1/4] profiling the device (template building)...")
+	cls, err := core.Profile(dev, core.HighAccuracyProfileOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("      templates trained, %d-sample sub-traces\n", cls.Length)
+
+	// The victim encrypts a secret message.
+	secret := params.NewPlaintext()
+	for i, b := range []byte("attack at dawn") {
+		secret.Coeffs[i] = uint64(b)
+	}
+	fmt.Println("[2/4] victim encrypts; adversary captures ONE power trace...")
+	cap, err := core.CaptureEncryption(dev, params, enc, secret)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("      trace: %d samples across %d coefficient samplings\n",
+		len(cap.TraceE2), params.N)
+
+	fmt.Println("[3/4] segmenting + template classification...")
+	out, err := cls.Attack(cap, params.N)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vAcc, sAcc, err := out.E2.Accuracy(cap.Truth.E2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("      e2 recovery: %.2f%% values, %.2f%% signs\n", 100*vAcc, 100*sAcc)
+
+	fmt.Println("[4/4] inverting the ciphertext equations (+ residual repair)...")
+	recovered, _, trials, err := core.RepairAndRecover(
+		params, pk, cap.Ciphertext, out.E2, 16, 100000)
+	if err != nil {
+		log.Fatalf("recovery failed: %v", err)
+	}
+	msg := make([]byte, 14)
+	for i := range msg {
+		msg[i] = byte(recovered.Coeffs[i])
+	}
+	fmt.Printf("      recovered plaintext after %d verification trials: %q\n", trials, msg)
+
+	match := true
+	for i := range secret.Coeffs {
+		if secret.Coeffs[i] != recovered.Coeffs[i] {
+			match = false
+			break
+		}
+	}
+	fmt.Println("      full 1024-coefficient message identical:", match)
+}

@@ -1,0 +1,3 @@
+module reveal
+
+go 1.22

@@ -1,0 +1,132 @@
+package bfv
+
+import (
+	"fmt"
+
+	"reveal/internal/modular"
+	"reveal/internal/ring"
+)
+
+// ScalarEncoder encodes single integers into the constant coefficient of a
+// plaintext, the simplest SEAL-style encoding.
+type ScalarEncoder struct {
+	params *Parameters
+}
+
+// NewScalarEncoder builds a scalar encoder.
+func NewScalarEncoder(params *Parameters) *ScalarEncoder {
+	return &ScalarEncoder{params: params}
+}
+
+// Encode places v mod t into the constant coefficient.
+func (e *ScalarEncoder) Encode(v uint64) *Plaintext {
+	pt := e.params.NewPlaintext()
+	pt.Coeffs[0] = v % e.params.T
+	return pt
+}
+
+// Decode returns the constant coefficient.
+func (e *ScalarEncoder) Decode(pt *Plaintext) uint64 {
+	return pt.Coeffs[0]
+}
+
+// BinaryEncoder encodes an integer in base 2 across coefficients (SEAL's
+// IntegerEncoder with base 2): v = Σ b_i x^i. Homomorphic addition then
+// adds the encoded integers as long as coefficients stay below t.
+type BinaryEncoder struct {
+	params *Parameters
+}
+
+// NewBinaryEncoder builds a binary encoder.
+func NewBinaryEncoder(params *Parameters) *BinaryEncoder {
+	return &BinaryEncoder{params: params}
+}
+
+// Encode writes the binary expansion of v into the plaintext coefficients.
+func (e *BinaryEncoder) Encode(v uint64) (*Plaintext, error) {
+	pt := e.params.NewPlaintext()
+	for i := 0; v != 0; i++ {
+		if i >= e.params.N {
+			return nil, fmt.Errorf("bfv: value too large for degree %d", e.params.N)
+		}
+		pt.Coeffs[i] = v & 1
+		v >>= 1
+	}
+	return pt, nil
+}
+
+// Decode evaluates the plaintext polynomial at x=2 over the centered
+// representatives mod t, inverting Encode even after additions.
+func (e *BinaryEncoder) Decode(pt *Plaintext) (uint64, error) {
+	var acc int64
+	pow := int64(1)
+	for i := 0; i < len(pt.Coeffs); i++ {
+		c := modular.CenteredRep(pt.Coeffs[i], e.params.T)
+		acc += c * pow
+		if i < 63 {
+			pow <<= 1
+		} else if pt.Coeffs[i] != 0 {
+			return 0, fmt.Errorf("bfv: decoded value overflows uint64")
+		}
+	}
+	if acc < 0 {
+		return 0, fmt.Errorf("bfv: decoded negative value %d", acc)
+	}
+	return uint64(acc), nil
+}
+
+// BatchEncoder packs n plaintext slots using the CRT of x^n+1 mod t; it
+// requires t prime and ≡ 1 mod 2n (SEAL's BatchEncoder precondition).
+type BatchEncoder struct {
+	params *Parameters
+	ptCtx  *ring.Context
+}
+
+// NewBatchEncoder validates the batching precondition and precomputes the
+// plaintext-side NTT.
+func NewBatchEncoder(params *Parameters) (*BatchEncoder, error) {
+	if !modular.IsPrime(params.T) {
+		return nil, fmt.Errorf("bfv: batching requires prime t, got %d", params.T)
+	}
+	if (params.T-1)%uint64(2*params.N) != 0 {
+		return nil, fmt.Errorf("bfv: batching requires t ≡ 1 mod 2n, got t=%d n=%d", params.T, params.N)
+	}
+	ptCtx, err := ring.NewContext(params.N, []uint64{params.T})
+	if err != nil {
+		return nil, err
+	}
+	return &BatchEncoder{params: params, ptCtx: ptCtx}, nil
+}
+
+// Encode packs the slot values (each < t) into a plaintext polynomial.
+func (e *BatchEncoder) Encode(slots []uint64) (*Plaintext, error) {
+	if len(slots) != e.params.N {
+		return nil, fmt.Errorf("bfv: need exactly %d slots, got %d", e.params.N, len(slots))
+	}
+	p := e.ptCtx.NewPoly()
+	for i, v := range slots {
+		if v >= e.params.T {
+			return nil, fmt.Errorf("bfv: slot %d value %d not reduced mod t", i, v)
+		}
+		p.Coeffs[0][i] = v
+	}
+	// Slots are evaluations; the coefficient form is the inverse NTT.
+	p.InNTT = true
+	e.ptCtx.INTT(p)
+	pt := e.params.NewPlaintext()
+	copy(pt.Coeffs, p.Coeffs[0])
+	return pt, nil
+}
+
+// Decode unpacks a plaintext polynomial into its slot values.
+func (e *BatchEncoder) Decode(pt *Plaintext) ([]uint64, error) {
+	if err := e.params.Validate(pt); err != nil {
+		return nil, err
+	}
+	p := e.ptCtx.NewPoly()
+	copy(p.Coeffs[0], pt.Coeffs)
+	e.ptCtx.NTT(p)
+	out := make([]uint64, e.params.N)
+	copy(out, p.Coeffs[0])
+	return out, nil
+}

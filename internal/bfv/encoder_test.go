@@ -1,0 +1,165 @@
+package bfv
+
+import (
+	"testing"
+	"testing/quick"
+
+	"reveal/internal/sampler"
+)
+
+func TestScalarEncoder(t *testing.T) {
+	params := PaperParameters()
+	e := NewScalarEncoder(params)
+	pt := e.Encode(300) // 300 mod 256 = 44
+	if e.Decode(pt) != 44 {
+		t.Errorf("scalar round trip: %d", e.Decode(pt))
+	}
+}
+
+func TestBinaryEncoderRoundTrip(t *testing.T) {
+	params := PaperParameters()
+	e := NewBinaryEncoder(params)
+	prop := func(v uint32) bool {
+		pt, err := e.Encode(uint64(v))
+		if err != nil {
+			return false
+		}
+		got, err := e.Decode(pt)
+		return err == nil && got == uint64(v)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryEncoderHomomorphicAdd(t *testing.T) {
+	params := PaperParameters()
+	prng := sampler.NewXoshiro256(400)
+	kg := NewKeyGenerator(params, prng)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	enc := NewEncryptor(params, pk, prng)
+	dec := NewDecryptor(params, sk)
+	ev, err := NewEvaluator(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := NewBinaryEncoder(params)
+
+	pa, _ := be.Encode(1234)
+	pb, _ := be.Encode(5678)
+	ca, _ := enc.Encrypt(pa)
+	cb, _ := enc.Encrypt(pb)
+	got, err := dec.Decrypt(ev.Add(ca, cb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := be.Decode(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 6912 {
+		t.Errorf("homomorphic 1234+5678=%d want 6912", v)
+	}
+}
+
+func TestBatchEncoderPreconditions(t *testing.T) {
+	// t=256 is not prime.
+	if _, err := NewBatchEncoder(PaperParameters()); err == nil {
+		t.Error("batching with composite t should fail")
+	}
+	// t=12289 = 6·2048 + 1 is prime and ≡ 1 mod 2048.
+	params, err := NewParameters(1024, []uint64{PaperQ}, 12289,
+		sampler.DefaultSigma, sampler.DefaultMaxDeviation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := NewBatchEncoder(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := make([]uint64, params.N)
+	for i := range slots {
+		slots[i] = uint64(i*i) % params.T
+	}
+	pt, err := be.Encode(slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := be.Decode(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range slots {
+		if got[i] != slots[i] {
+			t.Fatalf("slot %d: %d want %d", i, got[i], slots[i])
+		}
+	}
+	if _, err := be.Encode(slots[:5]); err == nil {
+		t.Error("short slot vector should fail")
+	}
+	slots[0] = params.T
+	if _, err := be.Encode(slots); err == nil {
+		t.Error("unreduced slot should fail")
+	}
+}
+
+// Batching makes homomorphic addition act slot-wise.
+func TestBatchEncoderSlotwiseAdd(t *testing.T) {
+	params, err := NewParameters(1024, []uint64{PaperQ}, 12289,
+		sampler.DefaultSigma, sampler.DefaultMaxDeviation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prng := sampler.NewXoshiro256(401)
+	kg := NewKeyGenerator(params, prng)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	enc := NewEncryptor(params, pk, prng)
+	dec := NewDecryptor(params, sk)
+	ev, err := NewEvaluator(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := NewBatchEncoder(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := make([]uint64, params.N)
+	b := make([]uint64, params.N)
+	for i := range a {
+		a[i] = uint64(3*i) % params.T
+		b[i] = uint64(7*i+1) % params.T
+	}
+	pa, _ := be.Encode(a)
+	pb, _ := be.Encode(b)
+	ca, _ := enc.Encrypt(pa)
+	cb, _ := enc.Encrypt(pb)
+	sum, err := dec.Decrypt(ev.Add(ca, cb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := be.Decode(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if got[i] != (a[i]+b[i])%params.T {
+			t.Fatalf("slot %d: %d want %d", i, got[i], (a[i]+b[i])%params.T)
+		}
+	}
+}
+
+func TestBinaryEncoderOverflow(t *testing.T) {
+	// Tiny ring to force the "value too large" path: degree 4 ring needs a
+	// prime ≡ 1 mod 8.
+	params, err := NewParameters(4, []uint64{17}, 2, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := NewBinaryEncoder(params)
+	if _, err := be.Encode(255); err == nil { // needs 8 coefficients
+		t.Error("value exceeding degree should fail")
+	}
+}

@@ -1,0 +1,101 @@
+package bfv
+
+import (
+	"fmt"
+
+	"reveal/internal/modular"
+	"reveal/internal/ring"
+)
+
+// GaloisKey enables the homomorphic automorphism x → x^g: a key-switching
+// key from s(x^g) to s, with the same RNS × base-2^w gadget layout as the
+// relinearization key.
+type GaloisKey struct {
+	G    uint64
+	B, A [][]*ring.Poly
+}
+
+// GenGaloisKey generates the key for the Galois element g (odd).
+func (kg *KeyGenerator) GenGaloisKey(sk *SecretKey, g uint64) (*GaloisKey, error) {
+	ctx := kg.params.Context()
+	if g%2 == 0 {
+		return nil, fmt.Errorf("bfv: Galois element %d must be odd", g)
+	}
+	sg := ctx.NewPoly()
+	if err := ctx.Automorphism(sk.S, g, sg); err != nil {
+		return nil, err
+	}
+	k := ctx.Level()
+	gk := &GaloisKey{G: g, B: make([][]*ring.Poly, k), A: make([][]*ring.Poly, k)}
+	for j := 0; j < k; j++ {
+		qj := kg.params.Moduli[j]
+		digits := relinDigitCount(qj)
+		gk.B[j] = make([]*ring.Poly, digits)
+		gk.A[j] = make([]*ring.Poly, digits)
+		for l := 0; l < digits; l++ {
+			a := kg.uniformPoly()
+			e := kg.noisePoly()
+			b := ctx.NewPoly()
+			ctx.MulPoly(a, sk.S, b)
+			ctx.Add(b, e, b)
+			ctx.Neg(b, b)
+			shift := modular.Exp(2, uint64(RelinDigitBits*l), qj)
+			for i := 0; i < ctx.N; i++ {
+				term := modular.Mul(sg.Coeffs[j][i], shift, qj)
+				b.Coeffs[j][i] = modular.Add(b.Coeffs[j][i], term, qj)
+			}
+			gk.B[j][l], gk.A[j][l] = b, a
+		}
+	}
+	return gk, nil
+}
+
+// ApplyGalois homomorphically maps Enc(m(x)) to Enc(m(x^g)) using the
+// matching Galois key. The input must be a degree-1 ciphertext.
+func (ev *Evaluator) ApplyGalois(ct *Ciphertext, gk *GaloisKey) (*Ciphertext, error) {
+	if ct.Degree() != 1 {
+		return nil, fmt.Errorf("bfv: ApplyGalois requires a degree-1 ciphertext, got %d", ct.Degree())
+	}
+	if gk == nil || len(gk.B) != ev.params.Context().Level() {
+		return nil, fmt.Errorf("bfv: Galois key missing or wrong level")
+	}
+	ctx := ev.params.Context()
+
+	// σ_g(c0) + σ_g(c1)·s(x^g) = σ_g(c0 + c1·s): apply the automorphism to
+	// both halves, then key-switch σ_g(c1) from s(x^g) to s.
+	c0g := ctx.NewPoly()
+	if err := ctx.Automorphism(ct.C[0], gk.G, c0g); err != nil {
+		return nil, err
+	}
+	c1g := ctx.NewPoly()
+	if err := ctx.Automorphism(ct.C[1], gk.G, c1g); err != nil {
+		return nil, err
+	}
+
+	out0 := c0g
+	out1 := ctx.NewPoly()
+	tmp := ctx.NewPoly()
+	for j := range ev.params.Moduli {
+		for l := range gk.B[j] {
+			dj := ev.gadgetDigit(c1g, j, l)
+			ctx.MulPoly(dj, gk.B[j][l], tmp)
+			ctx.Add(out0, tmp, out0)
+			ctx.MulPoly(dj, gk.A[j][l], tmp)
+			ctx.Add(out1, tmp, out1)
+		}
+	}
+	return &Ciphertext{C: []*ring.Poly{out0, out1}}, nil
+}
+
+// GaloisElementForColumnRotation returns the Galois element 3^k mod 2n,
+// the standard generator for batched column rotations by k slots.
+func (p *Parameters) GaloisElementForColumnRotation(k int) uint64 {
+	twoN := uint64(2 * p.N)
+	steps := uint64(((k % p.N) + p.N) % p.N)
+	return modular.Exp(3, steps, twoN)
+}
+
+// GaloisElementForRowSwap returns 2n−1, which swaps the two batching rows.
+func (p *Parameters) GaloisElementForRowSwap() uint64 {
+	return uint64(2*p.N - 1)
+}

@@ -1,0 +1,129 @@
+package bfv
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Analytic noise tracking: worst-case infinity-norm bounds for the noise
+// term v = [c0 + c1·s]_Q − Δ·m of a ciphertext after each supported
+// operation. Decryption is guaranteed while ‖v‖∞ < Δ/2. The bounds follow
+// the standard BFV analysis with ternary secrets/u and B-bounded errors.
+
+// NoiseBound is an upper bound on ‖v‖∞ for some ciphertext.
+type NoiseBound struct {
+	Bound *big.Int
+}
+
+// NoiseEstimator derives worst-case bounds from a parameter set.
+type NoiseEstimator struct {
+	params *Parameters
+	// B is the clip bound of the error distribution (max |coefficient|).
+	B *big.Int
+}
+
+// NewNoiseEstimator builds an estimator for the parameter set.
+func NewNoiseEstimator(params *Parameters) *NoiseEstimator {
+	return &NoiseEstimator{
+		params: params,
+		B:      big.NewInt(int64(params.MaxDeviation) + 1),
+	}
+}
+
+// Fresh bounds the noise of a fresh encryption:
+//
+//	v = −e_pk·u + e1 + e2·s, with u, s ternary and errors ≤ B:
+//	‖v‖∞ ≤ B·(1 + 2n).
+func (ne *NoiseEstimator) Fresh() *NoiseBound {
+	n := big.NewInt(int64(ne.params.N))
+	b := new(big.Int).Mul(big.NewInt(2), n)
+	b.Add(b, big.NewInt(1))
+	b.Mul(b, ne.B)
+	// Plus the Δ-rounding slack |Δ·m − (Q/t)·m| ≤ t.
+	b.Add(b, new(big.Int).SetUint64(ne.params.T))
+	return &NoiseBound{Bound: b}
+}
+
+// Add bounds the noise of a homomorphic addition.
+func (ne *NoiseEstimator) Add(a, b *NoiseBound) *NoiseBound {
+	s := new(big.Int).Add(a.Bound, b.Bound)
+	// Δ-rounding slack of the summed plaintext.
+	s.Add(s, new(big.Int).SetUint64(ne.params.T))
+	return &NoiseBound{Bound: s}
+}
+
+// AddPlain bounds the noise after adding a plaintext (only the rounding
+// slack grows).
+func (ne *NoiseEstimator) AddPlain(a *NoiseBound) *NoiseBound {
+	s := new(big.Int).Add(a.Bound, new(big.Int).SetUint64(ne.params.T))
+	return &NoiseBound{Bound: s}
+}
+
+// MulPlain bounds the noise after multiplying by a plaintext polynomial
+// with coefficients < t: ‖v'‖∞ ≤ n·t·‖v‖∞.
+func (ne *NoiseEstimator) MulPlain(a *NoiseBound) *NoiseBound {
+	s := new(big.Int).Mul(a.Bound, new(big.Int).SetUint64(ne.params.T))
+	s.Mul(s, big.NewInt(int64(ne.params.N)))
+	return &NoiseBound{Bound: s}
+}
+
+// CanDecrypt reports whether the bound still guarantees correct
+// decryption (‖v‖∞ < Δ/2).
+func (ne *NoiseEstimator) CanDecrypt(nb *NoiseBound) bool {
+	half := ne.params.Delta()
+	half.Rsh(half, 1)
+	return nb.Bound.Cmp(half) < 0
+}
+
+// BudgetBits converts a bound to the remaining-noise-budget convention of
+// Decryptor.NoiseBudget: log2(Δ/(2·bound)).
+func (ne *NoiseEstimator) BudgetBits(nb *NoiseBound) float64 {
+	delta := ne.params.Delta()
+	return float64(delta.BitLen()-nb.Bound.BitLen()) - 1
+}
+
+// MeasureNoise returns the actual ‖v‖∞ of a ciphertext (requires the
+// secret key; a test/diagnostic facility mirroring SEAL's invariant-noise
+// inspector).
+func (d *Decryptor) MeasureNoise(ct *Ciphertext) (*big.Int, error) {
+	pt, err := d.Decrypt(ct)
+	if err != nil {
+		return nil, err
+	}
+	ctx := d.params.Context()
+	phase := d.dotWithSecret(ct)
+	bigQ := ctx.BigQ()
+	halfQ := new(big.Int).Rsh(bigQ, 1)
+	delta := d.params.Delta()
+
+	max := new(big.Int)
+	v := new(big.Int)
+	dm := new(big.Int)
+	for i := 0; i < d.params.N; i++ {
+		x := ctx.ComposeCRT(phase, i)
+		dm.SetUint64(pt.Coeffs[i])
+		dm.Mul(dm, delta)
+		v.Sub(x, dm)
+		v.Mod(v, bigQ)
+		if v.Cmp(halfQ) > 0 {
+			v.Sub(bigQ, v)
+		}
+		if v.Cmp(max) > 0 {
+			max.Set(v)
+		}
+	}
+	return max, nil
+}
+
+// CheckBound verifies that a measured ciphertext respects an analytic
+// bound — the test oracle for the estimator.
+func (ne *NoiseEstimator) CheckBound(d *Decryptor, ct *Ciphertext, nb *NoiseBound) error {
+	measured, err := d.MeasureNoise(ct)
+	if err != nil {
+		return err
+	}
+	if measured.Cmp(nb.Bound) > 0 {
+		return fmt.Errorf("bfv: measured noise %v exceeds analytic bound %v", measured, nb.Bound)
+	}
+	return nil
+}

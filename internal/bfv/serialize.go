@@ -1,0 +1,294 @@
+package bfv
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"reveal/internal/ring"
+)
+
+// Binary serialization for BFV objects. All formats start with a 4-byte
+// magic and a format version, then little-endian fixed-width fields. The
+// reader validates sizes before allocating.
+
+const serialVersion = 1
+
+var (
+	magicParams = [4]byte{'B', 'F', 'V', 'P'}
+	magicCipher = [4]byte{'B', 'F', 'V', 'C'}
+	magicPublic = [4]byte{'B', 'F', 'V', 'K'}
+	magicSecret = [4]byte{'B', 'F', 'V', 'S'}
+	magicPlain  = [4]byte{'B', 'F', 'V', 'M'}
+)
+
+const maxReasonableN = 1 << 20
+
+func writeHeader(w io.Writer, magic [4]byte) error {
+	if _, err := w.Write(magic[:]); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, uint32(serialVersion))
+}
+
+func readHeader(r io.Reader, want [4]byte) error {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return fmt.Errorf("bfv: reading magic: %w", err)
+	}
+	if magic != want {
+		return fmt.Errorf("bfv: bad magic %q, want %q", magic[:], want[:])
+	}
+	var version uint32
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return err
+	}
+	if version != serialVersion {
+		return fmt.Errorf("bfv: unsupported version %d", version)
+	}
+	return nil
+}
+
+func writePoly(w io.Writer, p *ring.Poly) error {
+	flags := uint32(0)
+	if p.InNTT {
+		flags = 1
+	}
+	if err := binary.Write(w, binary.LittleEndian, flags); err != nil {
+		return err
+	}
+	for j := range p.Coeffs {
+		for _, c := range p.Coeffs[j] {
+			if err := binary.Write(w, binary.LittleEndian, c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func readPoly(r io.Reader, ctx *ring.Context) (*ring.Poly, error) {
+	var flags uint32
+	if err := binary.Read(r, binary.LittleEndian, &flags); err != nil {
+		return nil, err
+	}
+	p := ctx.NewPoly()
+	for j := range p.Coeffs {
+		q := ctx.Moduli[j]
+		for i := range p.Coeffs[j] {
+			if err := binary.Read(r, binary.LittleEndian, &p.Coeffs[j][i]); err != nil {
+				return nil, err
+			}
+			if p.Coeffs[j][i] >= q {
+				return nil, fmt.Errorf("bfv: coefficient %d not reduced mod %d", p.Coeffs[j][i], q)
+			}
+		}
+	}
+	p.InNTT = flags&1 == 1
+	return p, nil
+}
+
+// WriteParameters serializes the public parameters.
+func WriteParameters(w io.Writer, p *Parameters) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, magicParams); err != nil {
+		return err
+	}
+	fields := []uint64{uint64(p.N), uint64(len(p.Moduli)), p.T,
+		math.Float64bits(p.Sigma), math.Float64bits(p.MaxDeviation)}
+	for _, f := range fields {
+		if err := binary.Write(bw, binary.LittleEndian, f); err != nil {
+			return err
+		}
+	}
+	for _, q := range p.Moduli {
+		if err := binary.Write(bw, binary.LittleEndian, q); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadParameters deserializes and re-validates a parameter set.
+func ReadParameters(r io.Reader) (*Parameters, error) {
+	br := bufio.NewReader(r)
+	if err := readHeader(br, magicParams); err != nil {
+		return nil, err
+	}
+	var n, k, t, sigmaBits, maxDevBits uint64
+	for _, p := range []*uint64{&n, &k, &t, &sigmaBits, &maxDevBits} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	if n == 0 || n > maxReasonableN || k == 0 || k > 64 {
+		return nil, fmt.Errorf("bfv: implausible header n=%d k=%d", n, k)
+	}
+	moduli := make([]uint64, k)
+	for i := range moduli {
+		if err := binary.Read(br, binary.LittleEndian, &moduli[i]); err != nil {
+			return nil, err
+		}
+	}
+	return NewParameters(int(n), moduli, t,
+		math.Float64frombits(sigmaBits), math.Float64frombits(maxDevBits))
+}
+
+// WriteCiphertext serializes ct under the given parameters.
+func WriteCiphertext(w io.Writer, ct *Ciphertext) error {
+	if ct == nil || len(ct.C) == 0 {
+		return fmt.Errorf("bfv: cannot serialize empty ciphertext")
+	}
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, magicCipher); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(ct.C))); err != nil {
+		return err
+	}
+	for _, c := range ct.C {
+		if err := writePoly(bw, c); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCiphertext deserializes a ciphertext for the given parameters.
+func ReadCiphertext(r io.Reader, params *Parameters) (*Ciphertext, error) {
+	br := bufio.NewReader(r)
+	if err := readHeader(br, magicCipher); err != nil {
+		return nil, err
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	if count == 0 || count > 8 {
+		return nil, fmt.Errorf("bfv: implausible ciphertext size %d", count)
+	}
+	ct := &Ciphertext{C: make([]*ring.Poly, count)}
+	for i := range ct.C {
+		p, err := readPoly(br, params.Context())
+		if err != nil {
+			return nil, err
+		}
+		ct.C[i] = p
+	}
+	return ct, nil
+}
+
+// WritePublicKey serializes pk.
+func WritePublicKey(w io.Writer, pk *PublicKey) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, magicPublic); err != nil {
+		return err
+	}
+	if err := writePoly(bw, pk.P0); err != nil {
+		return err
+	}
+	if err := writePoly(bw, pk.P1); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadPublicKey deserializes a public key for the given parameters.
+func ReadPublicKey(r io.Reader, params *Parameters) (*PublicKey, error) {
+	br := bufio.NewReader(r)
+	if err := readHeader(br, magicPublic); err != nil {
+		return nil, err
+	}
+	p0, err := readPoly(br, params.Context())
+	if err != nil {
+		return nil, err
+	}
+	p1, err := readPoly(br, params.Context())
+	if err != nil {
+		return nil, err
+	}
+	return &PublicKey{P0: p0, P1: p1}, nil
+}
+
+// WriteSecretKey serializes sk (both representations).
+func WriteSecretKey(w io.Writer, sk *SecretKey) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, magicSecret); err != nil {
+		return err
+	}
+	if err := writePoly(bw, sk.S); err != nil {
+		return err
+	}
+	for _, v := range sk.Signed {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSecretKey deserializes a secret key for the given parameters.
+func ReadSecretKey(r io.Reader, params *Parameters) (*SecretKey, error) {
+	br := bufio.NewReader(r)
+	if err := readHeader(br, magicSecret); err != nil {
+		return nil, err
+	}
+	s, err := readPoly(br, params.Context())
+	if err != nil {
+		return nil, err
+	}
+	signed := make([]int64, params.N)
+	for i := range signed {
+		if err := binary.Read(br, binary.LittleEndian, &signed[i]); err != nil {
+			return nil, err
+		}
+		if signed[i] < -1 || signed[i] > 1 {
+			return nil, fmt.Errorf("bfv: secret coefficient %d out of ternary range", signed[i])
+		}
+	}
+	return &SecretKey{S: s, Signed: signed}, nil
+}
+
+// WritePlaintext serializes pt.
+func WritePlaintext(w io.Writer, pt *Plaintext) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, magicPlain); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(pt.Coeffs))); err != nil {
+		return err
+	}
+	for _, c := range pt.Coeffs {
+		if err := binary.Write(bw, binary.LittleEndian, c); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPlaintext deserializes a plaintext and validates it against params.
+func ReadPlaintext(r io.Reader, params *Parameters) (*Plaintext, error) {
+	br := bufio.NewReader(r)
+	if err := readHeader(br, magicPlain); err != nil {
+		return nil, err
+	}
+	var n uint32
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if int(n) != params.N {
+		return nil, fmt.Errorf("bfv: plaintext has %d coefficients, parameters say %d", n, params.N)
+	}
+	pt := params.NewPlaintext()
+	for i := range pt.Coeffs {
+		if err := binary.Read(br, binary.LittleEndian, &pt.Coeffs[i]); err != nil {
+			return nil, err
+		}
+	}
+	if err := params.Validate(pt); err != nil {
+		return nil, err
+	}
+	return pt, nil
+}

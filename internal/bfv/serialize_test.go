@@ -1,0 +1,201 @@
+package bfv
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"reveal/internal/sampler"
+)
+
+func TestParametersRoundTrip(t *testing.T) {
+	orig := PaperParameters()
+	var buf bytes.Buffer
+	if err := WriteParameters(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadParameters(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != orig.N || got.T != orig.T || got.Sigma != orig.Sigma ||
+		got.MaxDeviation != orig.MaxDeviation || len(got.Moduli) != len(orig.Moduli) ||
+		got.Moduli[0] != orig.Moduli[0] {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, orig)
+	}
+	// Multi-modulus chain too.
+	multi, err := DefaultParameters(4096, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteParameters(&buf, multi); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadParameters(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range multi.Moduli {
+		if got.Moduli[i] != multi.Moduli[i] {
+			t.Fatal("moduli chain mismatch")
+		}
+	}
+}
+
+func TestSerializationRejectsGarbage(t *testing.T) {
+	if _, err := ReadParameters(strings.NewReader("XXXX")); err == nil {
+		t.Error("bad magic should fail")
+	}
+	if _, err := ReadParameters(strings.NewReader("BF")); err == nil {
+		t.Error("truncated input should fail")
+	}
+	// Wrong magic for the object type must be rejected.
+	var buf bytes.Buffer
+	if err := WriteParameters(&buf, PaperParameters()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCiphertext(&buf, PaperParameters()); err == nil {
+		t.Error("parameters bytes should not parse as ciphertext")
+	}
+}
+
+func TestKeyAndCiphertextRoundTrip(t *testing.T) {
+	params := PaperParameters()
+	prng := sampler.NewXoshiro256(600)
+	kg := NewKeyGenerator(params, prng)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	enc := NewEncryptor(params, pk, prng)
+	dec := NewDecryptor(params, sk)
+
+	pt := params.NewPlaintext()
+	pt.Coeffs[3] = 200
+	ct, err := enc.Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Secret key.
+	var buf bytes.Buffer
+	if err := WriteSecretKey(&buf, sk); err != nil {
+		t.Fatal(err)
+	}
+	sk2, err := ReadSecretKey(&buf, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sk2.S.Equal(sk.S) {
+		t.Error("secret key poly mismatch")
+	}
+	for i := range sk.Signed {
+		if sk.Signed[i] != sk2.Signed[i] {
+			t.Fatal("secret key signed mismatch")
+		}
+	}
+
+	// Public key.
+	buf.Reset()
+	if err := WritePublicKey(&buf, pk); err != nil {
+		t.Fatal(err)
+	}
+	pk2, err := ReadPublicKey(&buf, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pk2.P0.Equal(pk.P0) || !pk2.P1.Equal(pk.P1) {
+		t.Error("public key mismatch")
+	}
+
+	// Ciphertext: decrypting the deserialized ciphertext with the
+	// deserialized secret key must give back the plaintext.
+	buf.Reset()
+	if err := WriteCiphertext(&buf, ct); err != nil {
+		t.Fatal(err)
+	}
+	ct2, err := ReadCiphertext(&buf, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec2 := NewDecryptor(params, sk2)
+	got, err := dec2.Decrypt(ct2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Coeffs[3] != 200 {
+		t.Errorf("decrypted %d want 200", got.Coeffs[3])
+	}
+	// And the original decryptor agrees.
+	got2, err := dec.Decrypt(ct2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Coeffs[3] != 200 {
+		t.Error("original decryptor disagrees on deserialized ciphertext")
+	}
+}
+
+func TestPlaintextRoundTrip(t *testing.T) {
+	params := PaperParameters()
+	pt := params.NewPlaintext()
+	for i := range pt.Coeffs {
+		pt.Coeffs[i] = uint64(i) % params.T
+	}
+	var buf bytes.Buffer
+	if err := WritePlaintext(&buf, pt); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPlaintext(&buf, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pt.Coeffs {
+		if got.Coeffs[i] != pt.Coeffs[i] {
+			t.Fatal("plaintext mismatch")
+		}
+	}
+	// Length mismatch across parameter sets must fail.
+	other, err := DefaultParameters(2048, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WritePlaintext(&buf, pt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadPlaintext(&buf, other); err == nil {
+		t.Error("plaintext for wrong parameters should fail")
+	}
+}
+
+func TestReadPolyValidatesReduction(t *testing.T) {
+	params := PaperParameters()
+	prng := sampler.NewXoshiro256(601)
+	kg := NewKeyGenerator(params, prng)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+
+	var buf bytes.Buffer
+	if err := WritePublicKey(&buf, pk); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a coefficient to exceed the modulus: 8 (magic+ver) + 4
+	// (flags) puts us at the first coefficient; write an oversized value.
+	raw := buf.Bytes()
+	for i := 0; i < 8; i++ {
+		raw[12+i] = 0xff
+	}
+	if _, err := ReadPublicKey(bytes.NewReader(raw), params); err == nil {
+		t.Error("unreduced coefficient should be rejected")
+	}
+}
+
+func TestWriteCiphertextValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCiphertext(&buf, nil); err == nil {
+		t.Error("nil ciphertext should fail")
+	}
+	if err := WriteCiphertext(&buf, &Ciphertext{}); err == nil {
+		t.Error("empty ciphertext should fail")
+	}
+}

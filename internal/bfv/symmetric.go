@@ -1,0 +1,113 @@
+package bfv
+
+import (
+	"fmt"
+
+	"reveal/internal/modular"
+	"reveal/internal/ring"
+	"reveal/internal/sampler"
+)
+
+// Symmetric-key encryption (SEAL's Encryptor also supports this mode):
+//
+//	c = ([Δ·m + e − a·s]_Q, a), a ← R_Q uniform, e ← χ.
+//
+// The Gaussian sampling path — and therefore the RevEAL leakage — is
+// identical to the public-key path; only one error polynomial is drawn.
+
+// EncryptSymmetric encrypts pt directly under the secret key.
+func (e *Encryptor) EncryptSymmetric(sk *SecretKey, pt *Plaintext) (*Ciphertext, *EncryptionTranscript, error) {
+	if err := e.params.Validate(pt); err != nil {
+		return nil, nil, err
+	}
+	ctx := e.params.Context()
+	n := ctx.N
+
+	tr := &EncryptionTranscript{}
+	// a <- R_Q.
+	a := ctx.NewPoly()
+	for j, q := range e.params.Moduli {
+		copy(a.Coeffs[j], sampler.UniformPoly(e.prng, n, q))
+	}
+	// e1 <- chi via the vulnerable path (single error polynomial).
+	errPoly := ctx.NewPoly()
+	tr.E1, tr.Meta1, tr.Branch1 = e.setPolyCoeffsNormal(errPoly)
+	// The symmetric transcript has no u or e2; leave them empty but mark
+	// the unused slots explicitly for SanityCheckTranscript callers.
+	tr.U = make([]int64, n)
+	tr.E2 = make([]int64, n)
+	tr.Meta2 = make([]sampler.SampleMeta, n)
+	tr.Branch2 = make([]sampler.Branch, n)
+
+	// c0 = Δm + e − a·s.
+	as := ctx.NewPoly()
+	ctx.MulPoly(a, sk.S, as)
+	c0 := ctx.NewPoly()
+	ctx.Sub(errPoly, as, c0)
+	dm := e.scaledPlaintext(pt)
+	ctx.Add(c0, dm, c0)
+
+	return &Ciphertext{C: []*ring.Poly{c0, a}}, tr, nil
+}
+
+// KeySwitchKey re-encrypts ciphertexts from one secret key to another:
+// the RNS × base-2^w gadget encryption of sFrom under sTo.
+type KeySwitchKey struct {
+	B, A [][]*ring.Poly
+}
+
+// GenKeySwitchKey generates the key switching sFrom → sTo.
+func (kg *KeyGenerator) GenKeySwitchKey(sFrom, sTo *SecretKey) (*KeySwitchKey, error) {
+	if sFrom == nil || sTo == nil {
+		return nil, fmt.Errorf("bfv: nil secret key")
+	}
+	ctx := kg.params.Context()
+	k := ctx.Level()
+	ksk := &KeySwitchKey{B: make([][]*ring.Poly, k), A: make([][]*ring.Poly, k)}
+	for j := 0; j < k; j++ {
+		qj := kg.params.Moduli[j]
+		digits := relinDigitCount(qj)
+		ksk.B[j] = make([]*ring.Poly, digits)
+		ksk.A[j] = make([]*ring.Poly, digits)
+		for l := 0; l < digits; l++ {
+			a := kg.uniformPoly()
+			e := kg.noisePoly()
+			// b = -(a·sTo + e) + 2^(wl)·g_j·sFrom.
+			b := ctx.NewPoly()
+			ctx.MulPoly(a, sTo.S, b)
+			ctx.Add(b, e, b)
+			ctx.Neg(b, b)
+			shift := modular.Exp(2, uint64(RelinDigitBits*l), qj)
+			for i := 0; i < ctx.N; i++ {
+				term := modular.Mul(sFrom.S.Coeffs[j][i], shift, qj)
+				b.Coeffs[j][i] = modular.Add(b.Coeffs[j][i], term, qj)
+			}
+			ksk.B[j][l], ksk.A[j][l] = b, a
+		}
+	}
+	return ksk, nil
+}
+
+// SwitchKey maps Enc_sFrom(m) to Enc_sTo(m) using the matching key.
+func (ev *Evaluator) SwitchKey(ct *Ciphertext, ksk *KeySwitchKey) (*Ciphertext, error) {
+	if ct.Degree() != 1 {
+		return nil, fmt.Errorf("bfv: SwitchKey requires a degree-1 ciphertext")
+	}
+	if ksk == nil || len(ksk.B) != ev.params.Context().Level() {
+		return nil, fmt.Errorf("bfv: key switch key missing or wrong level")
+	}
+	ctx := ev.params.Context()
+	out0 := ct.C[0].Clone()
+	out1 := ctx.NewPoly()
+	tmp := ctx.NewPoly()
+	for j := range ev.params.Moduli {
+		for l := range ksk.B[j] {
+			dj := ev.gadgetDigit(ct.C[1], j, l)
+			ctx.MulPoly(dj, ksk.B[j][l], tmp)
+			ctx.Add(out0, tmp, out0)
+			ctx.MulPoly(dj, ksk.A[j][l], tmp)
+			ctx.Add(out1, tmp, out1)
+		}
+	}
+	return &Ciphertext{C: []*ring.Poly{out0, out1}}, nil
+}

@@ -1,0 +1,115 @@
+package bfv
+
+import (
+	"testing"
+
+	"reveal/internal/modular"
+	"reveal/internal/sampler"
+)
+
+func TestSymmetricEncryptDecrypt(t *testing.T) {
+	params := PaperParameters()
+	prng := sampler.NewXoshiro256(900)
+	kg := NewKeyGenerator(params, prng)
+	sk := kg.GenSecretKey()
+	enc := NewEncryptor(params, nil, prng) // symmetric mode needs no pk
+	dec := NewDecryptor(params, sk)
+
+	pt := params.NewPlaintext()
+	for i := range pt.Coeffs {
+		pt.Coeffs[i] = uint64(i*3) % params.T
+	}
+	ct, tr, err := enc.EncryptSymmetric(sk, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dec.Decrypt(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pt.Coeffs {
+		if got.Coeffs[i] != pt.Coeffs[i] {
+			t.Fatalf("coeff %d: %d want %d", i, got.Coeffs[i], pt.Coeffs[i])
+		}
+	}
+	// The transcript exposes the single error polynomial through the same
+	// vulnerable path (branches recorded).
+	if len(tr.E1) != params.N || len(tr.Branch1) != params.N {
+		t.Error("symmetric transcript incomplete")
+	}
+	seen := map[sampler.Branch]bool{}
+	for _, b := range tr.Branch1 {
+		seen[b] = true
+	}
+	if len(seen) < 3 {
+		t.Error("expected all three branches across 1024 coefficients")
+	}
+	// Validation path.
+	bad := params.NewPlaintext()
+	bad.Coeffs[0] = params.T
+	if _, _, err := enc.EncryptSymmetric(sk, bad); err == nil {
+		t.Error("unreduced plaintext should fail")
+	}
+}
+
+func TestKeySwitch(t *testing.T) {
+	// 50-bit modulus for key-switch noise headroom (as with Galois keys).
+	primes, err := modular.GeneratePrimes(50, 2048, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := NewParameters(1024, primes, 256,
+		sampler.DefaultSigma, sampler.DefaultMaxDeviation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prng := sampler.NewXoshiro256(901)
+	kg := NewKeyGenerator(params, prng)
+	skA := kg.GenSecretKey()
+	skB := kg.GenSecretKey()
+	pkA := kg.GenPublicKey(skA)
+	enc := NewEncryptor(params, pkA, prng)
+	ev, err := NewEvaluator(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ksk, err := kg.GenKeySwitchKey(skA, skB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pt := params.NewPlaintext()
+	pt.Coeffs[0], pt.Coeffs[9] = 42, 7
+	ct, err := enc.Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	switched, err := ev.SwitchKey(ct, ksk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decryptable under B, not under A.
+	decB := NewDecryptor(params, skB)
+	got, err := decB.Decrypt(switched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Coeffs[0] != 42 || got.Coeffs[9] != 7 {
+		t.Errorf("switched decrypt: %d %d", got.Coeffs[0], got.Coeffs[9])
+	}
+	decA := NewDecryptor(params, skA)
+	gotA, err := decA.Decrypt(switched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotA.Coeffs[0] == 42 && gotA.Coeffs[9] == 7 {
+		t.Error("old key still decrypts the switched ciphertext")
+	}
+	// Validation.
+	if _, err := kg.GenKeySwitchKey(nil, skB); err == nil {
+		t.Error("nil key should fail")
+	}
+	if _, err := ev.SwitchKey(ct, nil); err == nil {
+		t.Error("nil ksk should fail")
+	}
+}

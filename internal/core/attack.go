@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+
+	"reveal/internal/bfv"
+	"reveal/internal/sampler"
+	"reveal/internal/trace"
+)
+
+// EncryptionCapture is one observed encryption: the public ciphertext, the
+// two power traces of the Gaussian sampling runs (e1 then e2), and — for
+// evaluation only — the ground-truth transcript.
+type EncryptionCapture struct {
+	Ciphertext *bfv.Ciphertext
+	TraceE1    trace.Trace
+	TraceE2    trace.Trace
+
+	// Truth is the encryption transcript; the attack never reads it, the
+	// evaluation harness does.
+	Truth *bfv.EncryptionTranscript
+}
+
+// CaptureEncryption performs one BFV encryption and records the power
+// traces of both error-polynomial sampling runs on the device — the
+// "single power measurement" of the paper (one trace per error polynomial,
+// captured within the same encryption).
+func CaptureEncryption(dev *Device, params *bfv.Parameters, enc *bfv.Encryptor, pt *bfv.Plaintext) (*EncryptionCapture, error) {
+	ct, tr, err := enc.EncryptWithTranscript(pt)
+	if err != nil {
+		return nil, err
+	}
+	// One sentinel iteration is appended so the last real coefficient's
+	// segment has the same tail shape as the others (its successor peak
+	// exists); the attack discards the sentinel's classification.
+	src, err := FirmwareSource(params.N+1, params.Moduli[0])
+	if err != nil {
+		return nil, err
+	}
+	fw, err := AssembleFirmware(src)
+	if err != nil {
+		return nil, err
+	}
+	withSentinel := func(vals []int64, metas []sampler.SampleMeta) ([]int64, []sampler.SampleMeta) {
+		v := append(append([]int64(nil), vals...), 0)
+		m := append(append([]sampler.SampleMeta(nil), metas...), sampler.SampleMeta{})
+		return v, m
+	}
+	v1, m1 := withSentinel(tr.E1, tr.Meta1)
+	t1, err := dev.Capture(fw, v1, m1)
+	if err != nil {
+		return nil, fmt.Errorf("core: capturing e1 sampling: %w", err)
+	}
+	v2, m2 := withSentinel(tr.E2, tr.Meta2)
+	t2, err := dev.Capture(fw, v2, m2)
+	if err != nil {
+		return nil, fmt.Errorf("core: capturing e2 sampling: %w", err)
+	}
+	return &EncryptionCapture{Ciphertext: ct, TraceE1: t1, TraceE2: t2, Truth: tr}, nil
+}
+
+// AttackOutcome is the result of the full single-trace attack on one
+// encryption.
+type AttackOutcome struct {
+	E1, E2 *AttackResult
+}
+
+// Attack runs the single-trace attack on both error polynomials of a
+// captured encryption (each trace contains n real coefficients plus the
+// sentinel iteration, which is discarded).
+func (c *CoefficientClassifier) Attack(cap *EncryptionCapture, n int) (*AttackOutcome, error) {
+	attackOne := func(tr trace.Trace) (*AttackResult, error) {
+		segs, err := trace.SegmentEncryptionTrace(tr, n+1, 8)
+		if err != nil {
+			return nil, err
+		}
+		return c.AttackSegments(segs[:n])
+	}
+	r1, err := attackOne(cap.TraceE1)
+	if err != nil {
+		return nil, fmt.Errorf("core: attacking e1 trace: %w", err)
+	}
+	r2, err := attackOne(cap.TraceE2)
+	if err != nil {
+		return nil, fmt.Errorf("core: attacking e2 trace: %w", err)
+	}
+	return &AttackOutcome{E1: r1, E2: r2}, nil
+}
+
+// RecoveredE2 returns the maximum-likelihood e2 as signed coefficients.
+func (o *AttackOutcome) RecoveredE2() []int64 {
+	out := make([]int64, len(o.E2.Values))
+	for i, v := range o.E2.Values {
+		out[i] = int64(v)
+	}
+	return out
+}

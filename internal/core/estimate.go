@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+
+	"reveal/internal/bfv"
+	"reveal/internal/dbdd"
+)
+
+// LWEInstanceForParams builds the DBDD instance of the c1 = p1·u + e2
+// equation: n ternary secret coordinates (u, variance 2/3) and n Gaussian
+// error coordinates (e2, variance σ²), modulus q — the instance of
+// Table III ("smallest parameter set of SEAL-128").
+func LWEInstanceForParams(params *bfv.Parameters) (*dbdd.Instance, error) {
+	if len(params.Moduli) != 1 {
+		return nil, fmt.Errorf("core: the security estimate targets the single-modulus paper configuration")
+	}
+	return dbdd.NewLWEInstance(params.N, params.N, float64(params.Moduli[0]),
+		2.0/3.0, params.Sigma*params.Sigma)
+}
+
+// errorCoord maps error-polynomial coefficient i to its DBDD coordinate
+// (errors follow the n secret coordinates).
+func errorCoord(params *bfv.Parameters, i int) int { return params.N + i }
+
+// EstimateFullHints integrates the attack's per-coefficient probability
+// tables (Table II) as perfect/approximate hints and reports the security
+// loss — the "attack with hints" row of Table III.
+func EstimateFullHints(params *bfv.Parameters, res *AttackResult) (*dbdd.SecurityLoss, error) {
+	baseline, err := LWEInstanceForParams(params)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Probs) != params.N {
+		return nil, fmt.Errorf("core: attack covered %d coefficients, want %d", len(res.Probs), params.N)
+	}
+	return dbdd.CompareWithHints(baseline, func(in *dbdd.Instance) error {
+		for i, probs := range res.Probs {
+			h := dbdd.HintFromProbabilities(probs)
+			if err := in.IntegrateCoefficientHint(errorCoord(params, i), h); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// EstimateSignOnly integrates only the branch information (sign and
+// zero-ness) — the "only branch vulnerability" scenario of Table IV.
+func EstimateSignOnly(params *bfv.Parameters, res *AttackResult) (*dbdd.SecurityLoss, error) {
+	baseline, err := LWEInstanceForParams(params)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Signs) != params.N {
+		return nil, fmt.Errorf("core: attack covered %d coefficients, want %d", len(res.Signs), params.N)
+	}
+	return dbdd.CompareWithHints(baseline, func(in *dbdd.Instance) error {
+		for i, s := range res.Signs {
+			if err := in.SignHint(errorCoord(params, i), s); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// SignOnlyWithGuess reproduces the last three rows of Table IV: after the
+// sign hints, the framework guesses the most confident remaining
+// coordinate, reporting the new bikz and the guess's success probability.
+func SignOnlyWithGuess(params *bfv.Parameters, res *AttackResult) (bikz float64, guess *dbdd.GuessResult, err error) {
+	baseline, err := LWEInstanceForParams(params)
+	if err != nil {
+		return 0, nil, err
+	}
+	for i, s := range res.Signs {
+		if err := baseline.SignHint(errorCoord(params, i), s); err != nil {
+			return 0, nil, err
+		}
+	}
+	// Guess among the measured error coordinates, as the framework does.
+	guess, err = baseline.GuessBestCoordinateIn(params.N, 2*params.N)
+	if err != nil {
+		return 0, nil, err
+	}
+	bikz, err = baseline.EstimateBikz()
+	if err != nil {
+		return 0, nil, err
+	}
+	return bikz, guess, nil
+}
+
+// HintSummary is one row of Table II: the probability table of a single
+// measurement with its centered mean and variance.
+type HintSummary struct {
+	TrueValue int
+	Probs     map[int]float64
+	Centered  float64
+	Variance  float64
+}
+
+// SummarizeHints produces the Table II rows for the given coefficients.
+func SummarizeHints(res *AttackResult, truth []int64, indices []int) ([]HintSummary, error) {
+	out := make([]HintSummary, 0, len(indices))
+	for _, i := range indices {
+		if i < 0 || i >= len(res.Probs) {
+			return nil, fmt.Errorf("core: index %d out of range", i)
+		}
+		h := dbdd.HintFromProbabilities(res.Probs[i])
+		s := HintSummary{Probs: res.Probs[i], Centered: h.Mean, Variance: h.Variance}
+		if truth != nil && i < len(truth) {
+			s.TrueValue = int(truth[i])
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

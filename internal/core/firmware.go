@@ -1,0 +1,116 @@
+// Package core implements the RevEAL attack pipeline end to end: the
+// firmware that runs SEAL's vulnerable sign-assignment kernel on the RV32
+// device, the memory-mapped Gaussian-sampler port, the profiling campaign
+// that builds templates, the single-trace attack that recovers the error
+// polynomial coefficients, the conversion of attack scores into DBDD hints
+// (Tables II-IV), and full plaintext recovery via the ciphertext equations
+// (Eq. 1-3 of the paper).
+package core
+
+import (
+	"fmt"
+
+	"reveal/internal/rv32"
+)
+
+// PortBase is the address of the memory-mapped Gaussian sampler port. A
+// load from offset 0 returns the next sampled (rounded) noise value as a
+// two's-complement word, stalling for a data-dependent number of wait
+// cycles — this reproduces the time-variant distribution call plus the
+// distinctive power peak the paper segments traces by (§III-C).
+const PortBase uint32 = 0xffff0000
+
+// PolyBase is where the firmware stores the error polynomial residues.
+const PolyBase uint32 = 0x4000
+
+// FirmwareSource generates the RV32 assembly of the sampling kernel: the
+// line-for-line translation of SEAL v3.2's set_poly_coeffs_normal sign
+// assignment (Fig. 2 of the paper) for a single coefficient modulus.
+//
+//	for i in 0..n-1:
+//	    noise = port.read()            // ClippedNormalDistribution
+//	    if noise > 0:      poly[i] = noise          (V2: HW of noise)
+//	    else if noise < 0: poly[i] = q - (-noise)   (V3: negation + rich HW)
+//	    else:              poly[i] = 0
+//
+// The branch bodies execute different instructions, which is V1.
+func FirmwareSource(n int, q uint64) (string, error) {
+	if n < 1 {
+		return "", fmt.Errorf("core: need at least 1 coefficient, got %d", n)
+	}
+	if q == 0 || q > 1<<31 {
+		return "", fmt.Errorf("core: modulus %d does not fit the RV32 kernel", q)
+	}
+	return fmt.Sprintf(`
+	# RevEAL target kernel: SEAL v3.2 set_poly_coeffs_normal (Fig. 2).
+	li   s0, %d          # sampler port
+	li   s1, %d          # &poly[0]
+	li   s2, %d          # coeff_count n
+	li   s3, %d          # coefficient modulus q
+	li   t0, 0           # i
+loop:
+	lw   t1, 0(s0)       # noise = dist(engine)  [time-variant, power peak]
+	blt  zero, t1, pos   # if (noise > 0)
+	blt  t1, zero, neg   # else if (noise < 0)
+	sw   zero, 0(s1)     # else: poly[i] = 0
+	j    next
+pos:
+	sw   t1, 0(s1)       # poly[i] = noise
+	j    next
+neg:
+	neg  t2, t1          # noise = -noise        [V3]
+	sub  t3, s3, t2      # q - noise
+	sw   t3, 0(s1)       # poly[i] = q - noise
+next:
+	addi s1, s1, 4
+	addi t0, t0, 1
+	blt  t0, s2, loop
+	ebreak
+`, PortBase, PolyBase, n, q), nil
+}
+
+// FirmwareBranchless generates the patched (SEAL v3.6-style) kernel used by
+// the defense ablation: the sign assignment is computed with arithmetic
+// masking and a single unconditional store, so V1 and V3 disappear.
+func FirmwareBranchless(n int, q uint64) (string, error) {
+	if n < 1 {
+		return "", fmt.Errorf("core: need at least 1 coefficient, got %d", n)
+	}
+	if q == 0 || q > 1<<31 {
+		return "", fmt.Errorf("core: modulus %d does not fit the RV32 kernel", q)
+	}
+	return fmt.Sprintf(`
+	# Patched kernel: branch-free sign assignment (SEAL >= v3.6 style).
+	li   s0, %d          # sampler port
+	li   s1, %d          # &poly[0]
+	li   s2, %d          # n
+	li   s3, %d          # q
+	li   t0, 0
+loop:
+	lw   t1, 0(s0)       # noise
+	srai t2, t1, 31      # mask = noise >> 31 (all ones if negative)
+	xor  t3, t1, t2      # |noise| via two's complement trick
+	sub  t3, t3, t2
+	sub  t4, s3, t3      # q - |noise|
+	and  t4, t4, t2      # select (q-|noise|) when negative
+	not  t5, t2
+	and  t6, t3, t5      # select |noise| when non-negative
+	or   t4, t4, t6
+	# map value q (when noise == 0 and mask selected nothing) is impossible:
+	# t4 = |0| = 0 on the non-negative path.
+	sw   t4, 0(s1)
+	addi s1, s1, 4
+	addi t0, t0, 1
+	blt  t0, s2, loop
+	ebreak
+`, PortBase, PolyBase, n, q), nil
+}
+
+// AssembleFirmware assembles the kernel at address 0.
+func AssembleFirmware(src string) ([]byte, error) {
+	img, _, err := rv32.Assemble(src, 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: assembling firmware: %w", err)
+	}
+	return img, nil
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+
+	"reveal/internal/sampler"
+	"reveal/internal/sca"
+	"reveal/internal/trace"
+)
+
+// TVLA (test vector leakage assessment) is the standard fixed-vs-random
+// Welch t-test campaign: capture sub-traces where the sampled coefficient
+// is pinned to a fixed value interleaved with sub-traces where it is drawn
+// randomly; any sample with |t| above the threshold indicates exploitable
+// first-order leakage. This is the methodology a SEAL integrator would use
+// to discover the vulnerability the paper reports.
+
+// TVLAResult is the outcome of a leakage assessment.
+type TVLAResult struct {
+	// TStat is the per-sample |t| curve over the aligned sub-traces.
+	TStat []float64
+	// MaxT is the curve's peak.
+	MaxT float64
+	// MaxTAt is the sample index of the peak.
+	MaxTAt int
+	// Threshold is the pass/fail bound used (conventionally 4.5).
+	Threshold float64
+	// Leaky reports MaxT > Threshold.
+	Leaky bool
+}
+
+// TVLAThreshold is the conventional |t| bound.
+const TVLAThreshold = 4.5
+
+// RunTVLA runs a fixed-vs-random campaign of the given number of
+// sub-traces per class on the device. branchless selects the patched
+// kernel (which should pass where the vulnerable kernel fails for the
+// control-flow component; value leakage through the store remains).
+func RunTVLA(dev *Device, q uint64, fixedValue int64, perClass int, branchless bool, seed uint64) (*TVLAResult, error) {
+	if perClass < 10 {
+		return nil, fmt.Errorf("core: TVLA needs at least 10 traces per class")
+	}
+	const coeffsPerRun = 18
+	var src string
+	var err error
+	if branchless {
+		src, err = FirmwareBranchless(coeffsPerRun, q)
+	} else {
+		src, err = FirmwareSource(coeffsPerRun, q)
+	}
+	if err != nil {
+		return nil, err
+	}
+	fw, err := AssembleFirmware(src)
+	if err != nil {
+		return nil, err
+	}
+	cn := sampler.DefaultClippedNormal()
+	prng := sampler.NewXoshiro256(seed)
+
+	var rawSegs []trace.Segment
+	var labels []int
+	collected := [2]int{}
+	class := 0
+	for collected[0] < perClass || collected[1] < perClass {
+		values := make([]int64, coeffsPerRun)
+		if class == 0 {
+			for i := range values {
+				values[i] = fixedValue
+			}
+		} else {
+			values, _ = cn.SamplePoly(prng, coeffsPerRun)
+		}
+		metas := SyntheticMetas(prng, cn, coeffsPerRun)
+		_, segs, err := dev.SegmentCapture(fw, values, metas)
+		if err != nil {
+			return nil, fmt.Errorf("core: TVLA capture: %w", err)
+		}
+		for i := 1; i < len(segs)-1 && collected[class] < perClass; i++ {
+			rawSegs = append(rawSegs, segs[i])
+			labels = append(labels, class)
+			collected[class]++
+		}
+		class = 1 - class
+	}
+
+	length := len(rawSegs[0].Samples)
+	for _, s := range rawSegs {
+		if len(s.Samples) < length {
+			length = len(s.Samples)
+		}
+	}
+	set := &trace.Set{}
+	for i, s := range rawSegs {
+		set.Append(tailAlign(s.Samples, length), labels[i])
+	}
+	tstat, err := sca.TTest(set, 0, 1)
+	if err != nil {
+		return nil, err
+	}
+	res := &TVLAResult{TStat: tstat, Threshold: TVLAThreshold}
+	for i, v := range tstat {
+		if v > res.MaxT {
+			res.MaxT, res.MaxTAt = v, i
+		}
+	}
+	res.Leaky = res.MaxT > res.Threshold
+	return res, nil
+}

@@ -1,0 +1,132 @@
+package lattice
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// NearestPlane runs Babai's nearest-plane algorithm: given a (preferably
+// LLL-reduced) basis and a target point, it returns a lattice vector close
+// to the target. Solves BDD exactly when the error is small relative to
+// the GSO norms.
+func NearestPlane(b *Basis, target []*big.Int) ([]*big.Int, error) {
+	if len(target) != b.NumCols() {
+		return nil, fmt.Errorf("lattice: target length %d, want %d", len(target), b.NumCols())
+	}
+	muR, BR, err := b.gso()
+	if err != nil {
+		return nil, err
+	}
+	n := b.NumRows()
+
+	// Work in rationals on the residual vector.
+	resid := make([]*big.Rat, len(target))
+	for i, v := range target {
+		resid[i] = new(big.Rat).SetInt(v)
+	}
+
+	// Reconstruct the GSO vectors b*_i as rationals: b*_i = b_i - sum mu b*_j.
+	cols := b.NumCols()
+	star := make([][]*big.Rat, n)
+	for i := 0; i < n; i++ {
+		star[i] = make([]*big.Rat, cols)
+		for c := 0; c < cols; c++ {
+			star[i][c] = new(big.Rat).SetInt(b.At(i, c))
+		}
+		for j := 0; j < i; j++ {
+			for c := 0; c < cols; c++ {
+				t := new(big.Rat).Mul(muR[i][j], star[j][c])
+				star[i][c].Sub(star[i][c], t)
+			}
+		}
+	}
+
+	coeffs := make([]*big.Int, n)
+	tmp := new(big.Rat)
+	for i := n - 1; i >= 0; i-- {
+		if BR[i].Sign() == 0 {
+			return nil, fmt.Errorf("lattice: degenerate GSO at row %d", i)
+		}
+		// c = <resid, b*_i> / ||b*_i||²
+		dot := new(big.Rat)
+		for c := 0; c < cols; c++ {
+			tmp.Mul(resid[c], star[i][c])
+			dot.Add(dot, tmp)
+		}
+		dot.Quo(dot, BR[i])
+		k := roundRat(dot)
+		coeffs[i] = k
+		if k.Sign() != 0 {
+			kr := new(big.Rat).SetInt(k)
+			for c := 0; c < cols; c++ {
+				br := new(big.Rat).SetInt(b.At(i, c))
+				tmp.Mul(kr, br)
+				resid[c].Sub(resid[c], tmp)
+			}
+		}
+	}
+
+	// Lattice point = target - resid = sum coeffs_i b_i.
+	out := make([]*big.Int, cols)
+	for c := range out {
+		out[c] = new(big.Int)
+	}
+	t2 := new(big.Int)
+	for i := 0; i < n; i++ {
+		if coeffs[i].Sign() == 0 {
+			continue
+		}
+		for c := 0; c < cols; c++ {
+			t2.Mul(coeffs[i], b.At(i, c))
+			out[c].Add(out[c], t2)
+		}
+	}
+	return out, nil
+}
+
+// ClosestVectorEmbedding solves CVP via the Kannan embedding: append the
+// target as an extra row with embedding factor M, find the shortest vector
+// of the extended lattice, and read off target − v. M should be on the
+// order of the expected error norm. Returns the lattice vector closest to
+// the target (for bounded-distance instances).
+func ClosestVectorEmbedding(b *Basis, target []*big.Int, m int64) ([]*big.Int, error) {
+	if len(target) != b.NumCols() {
+		return nil, fmt.Errorf("lattice: target length %d, want %d", len(target), b.NumCols())
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("lattice: embedding factor must be positive")
+	}
+	n := b.NumRows()
+	cols := b.NumCols()
+	ext := NewBasisZero(n+1, cols+1)
+	for i := 0; i < n; i++ {
+		for c := 0; c < cols; c++ {
+			ext.Set(i, c, b.At(i, c))
+		}
+	}
+	for c := 0; c < cols; c++ {
+		ext.Set(n, c, target[c])
+	}
+	ext.SetInt64(n, cols, m)
+
+	sv, err := ShortestVector(ext)
+	if err != nil {
+		return nil, err
+	}
+	// The shortest vector should be ±(target - v, M). Normalize the sign
+	// using the last coordinate.
+	last := sv[cols]
+	switch {
+	case last.CmpAbs(big.NewInt(m)) != 0:
+		return nil, fmt.Errorf("lattice: embedding failed: last coordinate %v, want ±%d", last, m)
+	case last.Sign() < 0:
+		for i := range sv {
+			sv[i].Neg(sv[i])
+		}
+	}
+	out := make([]*big.Int, cols)
+	for c := 0; c < cols; c++ {
+		out[c] = new(big.Int).Sub(target[c], sv[c])
+	}
+	return out, nil
+}

@@ -1,0 +1,63 @@
+package lattice
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// GSProfile returns the log2 lengths of the Gram-Schmidt vectors,
+// the curve BKZ-quality analyses plot (and the GSA approximates by a
+// straight line).
+func GSProfile(b *Basis) ([]float64, error) {
+	_, B, err := b.gso()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(B))
+	for i, v := range B {
+		f, _ := v.Float64()
+		if f <= 0 {
+			return nil, fmt.Errorf("lattice: non-positive GSO norm at %d", i)
+		}
+		out[i] = 0.5 * math.Log2(f)
+	}
+	return out, nil
+}
+
+// RootHermiteFactor returns δ = (‖b₁‖ / vol^(1/d))^(1/d), the standard
+// quality measure of a reduced basis (LLL ≈ 1.022, BKZ smaller).
+func RootHermiteFactor(b *Basis) (float64, error) {
+	volSq, err := b.VolumeSq()
+	if err != nil {
+		return 0, err
+	}
+	d := float64(b.NumRows())
+	volSqF, _ := volSq.Float64()
+	if volSqF <= 0 {
+		return 0, fmt.Errorf("lattice: non-positive volume")
+	}
+	normSqF, _ := new(big.Float).SetInt(b.NormSq(0)).Float64()
+	// δ^d = ‖b₁‖ / vol^(1/d)  =>  log δ = (½·log‖b₁‖² − log vol / d) / d
+	logDelta := (0.5*math.Log(normSqF) - 0.5*math.Log(volSqF)/d) / d
+	return math.Exp(logDelta), nil
+}
+
+// OrthogonalityDefect returns (∏‖bᵢ‖) / vol, ≥ 1 with equality iff the
+// basis is orthogonal; a coarse reduction-quality diagnostic.
+func OrthogonalityDefect(b *Basis) (float64, error) {
+	volSq, err := b.VolumeSq()
+	if err != nil {
+		return 0, err
+	}
+	volSqF, _ := volSq.Float64()
+	if volSqF <= 0 {
+		return 0, fmt.Errorf("lattice: non-positive volume")
+	}
+	logProd := 0.0
+	for i := 0; i < b.NumRows(); i++ {
+		nf, _ := new(big.Float).SetInt(b.NormSq(i)).Float64()
+		logProd += 0.5 * math.Log(nf)
+	}
+	return math.Exp(logProd - 0.5*math.Log(volSqF)), nil
+}

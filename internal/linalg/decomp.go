@@ -1,0 +1,228 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a factorization or solve encounters a
+// (numerically) singular matrix.
+var ErrSingular = errors.New("linalg: matrix is singular")
+
+// ErrNotPositiveDefinite is returned by Cholesky when the input is not
+// symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+
+// Cholesky computes the lower-triangular L with m = L L^T. m must be
+// symmetric positive definite.
+func Cholesky(m *Matrix) (*Matrix, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("linalg: Cholesky needs square matrix, got %dx%d", m.Rows, m.Cols)
+	}
+	n := m.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := m.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := m.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/ljj)
+		}
+	}
+	return l, nil
+}
+
+// LogDetSPD returns log(det(m)) for a symmetric positive definite matrix
+// via its Cholesky factor (numerically stable for tiny determinants).
+func LogDetSPD(m *Matrix) (float64, error) {
+	l, err := Cholesky(m)
+	if err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for i := 0; i < l.Rows; i++ {
+		sum += math.Log(l.At(i, i))
+	}
+	return 2 * sum, nil
+}
+
+// SolveCholesky solves m x = b given the Cholesky factor L of m.
+func SolveCholesky(l *Matrix, b []float64) ([]float64, error) {
+	n := l.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: rhs length %d, want %d", len(b), n)
+	}
+	// Forward substitution L y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Back substitution L^T x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x, nil
+}
+
+// LU holds an LU factorization with partial pivoting: P m = L U.
+type LU struct {
+	lu    *Matrix
+	pivot []int
+	sign  float64
+}
+
+// NewLU factors m (square) with partial pivoting.
+func NewLU(m *Matrix) (*LU, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("linalg: LU needs square matrix, got %dx%d", m.Rows, m.Cols)
+	}
+	n := m.Rows
+	lu := m.Clone()
+	pivot := make([]int, n)
+	sign := 1.0
+	for i := range pivot {
+		pivot[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		p, maxAbs := col, math.Abs(lu.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if a := math.Abs(lu.At(r, col)); a > maxAbs {
+				p, maxAbs = r, a
+			}
+		}
+		if maxAbs == 0 {
+			return nil, ErrSingular
+		}
+		if p != col {
+			for j := 0; j < n; j++ {
+				lu.Data[p*n+j], lu.Data[col*n+j] = lu.Data[col*n+j], lu.Data[p*n+j]
+			}
+			pivot[p], pivot[col] = pivot[col], pivot[p]
+			sign = -sign
+		}
+		inv := 1.0 / lu.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := lu.At(r, col) * inv
+			lu.Set(r, col, f)
+			if f == 0 {
+				continue
+			}
+			for j := col + 1; j < n; j++ {
+				lu.Set(r, j, lu.At(r, j)-f*lu.At(col, j))
+			}
+		}
+	}
+	return &LU{lu: lu, pivot: pivot, sign: sign}, nil
+}
+
+// Solve solves m x = b using the factorization.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	n := f.lu.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: rhs length %d, want %d", len(b), n)
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.pivot[i]]
+	}
+	// Forward: L y = Pb (unit diagonal).
+	for i := 0; i < n; i++ {
+		for k := 0; k < i; k++ {
+			x[i] -= f.lu.At(i, k) * x[k]
+		}
+	}
+	// Back: U x = y.
+	for i := n - 1; i >= 0; i-- {
+		for k := i + 1; k < n; k++ {
+			x[i] -= f.lu.At(i, k) * x[k]
+		}
+		x[i] /= f.lu.At(i, i)
+	}
+	return x, nil
+}
+
+// Det returns the determinant from the factorization.
+func (f *LU) Det() float64 {
+	d := f.sign
+	for i := 0; i < f.lu.Rows; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// Inverse returns m^-1 via LU factorization.
+func Inverse(m *Matrix) (*Matrix, error) {
+	f, err := NewLU(m)
+	if err != nil {
+		return nil, err
+	}
+	n := m.Rows
+	inv := NewMatrix(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col, err := f.Solve(e)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv, nil
+}
+
+// Solve solves m x = b directly.
+func Solve(m *Matrix, b []float64) ([]float64, error) {
+	f, err := NewLU(m)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// Det returns det(m).
+func Det(m *Matrix) (float64, error) {
+	f, err := NewLU(m)
+	if err != nil {
+		if errors.Is(err, ErrSingular) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	return f.Det(), nil
+}
+
+// RegularizeSPD adds ridge*I to the diagonal of a covariance matrix in
+// place and returns it; used to repair near-singular pooled covariances
+// estimated from finite trace sets.
+func RegularizeSPD(m *Matrix, ridge float64) *Matrix {
+	for i := 0; i < m.Rows && i < m.Cols; i++ {
+		m.Set(i, i, m.At(i, i)+ridge)
+	}
+	return m
+}

@@ -1,0 +1,165 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustFromRows(t *testing.T, rows [][]float64) *Matrix {
+	t.Helper()
+	m, err := FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMulIdentity(t *testing.T) {
+	m := mustFromRows(t, [][]float64{{1, 2, 3}, {4, 5, 6}})
+	id := Identity(3)
+	got, err := m.Mul(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxAbsDiff(m, got) != 0 {
+		t.Errorf("m*I != m: %v", got.Data)
+	}
+	if _, err := m.Mul(Identity(2)); err == nil {
+		t.Error("shape mismatch should fail")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	b := mustFromRows(t, [][]float64{{5, 6}, {7, 8}})
+	got, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustFromRows(t, [][]float64{{19, 22}, {43, 50}})
+	if MaxAbsDiff(got, want) > 1e-12 {
+		t.Errorf("got %v want %v", got.Data, want.Data)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	b := mustFromRows(t, [][]float64{{4, 3}, {2, 1}})
+	sum, err := a.Add(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustFromRows(t, [][]float64{{5, 5}, {5, 5}})
+	if MaxAbsDiff(sum, want) != 0 {
+		t.Error("Add wrong")
+	}
+	diff, err := sum.Sub(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxAbsDiff(diff, a) != 0 {
+		t.Error("Sub wrong")
+	}
+	if MaxAbsDiff(a.Scale(2), mustFromRows(t, [][]float64{{2, 4}, {6, 8}})) != 0 {
+		t.Error("Scale wrong")
+	}
+	if _, err := a.Add(Identity(3)); err == nil {
+		t.Error("Add shape mismatch should fail")
+	}
+	if _, err := a.Sub(Identity(3)); err == nil {
+		t.Error("Sub shape mismatch should fail")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(6), 1+rng.Intn(6)
+		m := NewMatrix(rows, cols)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		return MaxAbsDiff(m.Transpose().Transpose(), m) == 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := mustFromRows(t, [][]float64{{1, 2, 3}, {4, 5, 6}})
+	got, err := m.MulVec([]float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 6 || got[1] != 15 {
+		t.Errorf("MulVec got %v", got)
+	}
+	if _, err := m.MulVec([]float64{1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestDotNormOuter(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Error("Dot wrong")
+	}
+	if Norm2([]float64{3, 4}) != 5 {
+		t.Error("Norm2 wrong")
+	}
+	op := OuterProduct([]float64{1, 2}, []float64{3, 4})
+	want := [][]float64{{3, 4}, {6, 8}}
+	for i := range want {
+		for j := range want[i] {
+			if op.At(i, j) != want[i][j] {
+				t.Errorf("Outer(%d,%d)=%v", i, j, op.At(i, j))
+			}
+		}
+	}
+}
+
+func TestFromRowsRagged(t *testing.T) {
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged rows should fail")
+	}
+	empty, err := FromRows(nil)
+	if err != nil || empty.Rows != 0 {
+		t.Error("empty FromRows should give 0x0")
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	s := mustFromRows(t, [][]float64{{2, 1}, {1, 3}})
+	if !s.IsSymmetric(0) {
+		t.Error("should be symmetric")
+	}
+	a := mustFromRows(t, [][]float64{{2, 1}, {0, 3}})
+	if a.IsSymmetric(0.5) {
+		t.Error("should not be symmetric")
+	}
+	if mustFromRows(t, [][]float64{{1, 2, 3}}).IsSymmetric(0) {
+		t.Error("non-square is never symmetric")
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	m := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	r := m.Row(1)
+	r[0] = 99
+	if m.At(1, 0) != 3 {
+		t.Error("Row must return a copy")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone must be deep")
+	}
+}
+
+func TestMaxAbsDiffShapeMismatch(t *testing.T) {
+	if !math.IsInf(MaxAbsDiff(Identity(2), Identity(3)), 1) {
+		t.Error("shape mismatch should give +Inf")
+	}
+}

@@ -1,0 +1,81 @@
+package modular
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Montgomery holds precomputed state for Montgomery multiplication modulo
+// an odd q < 2^62: products are computed in the residue representation
+// aR mod q with R = 2^64, trading the division in Barrett reduction for
+// two multiplications and a shift — the other classic NTT hot-path
+// primitive.
+type Montgomery struct {
+	q    uint64
+	qInv uint64 // -q^-1 mod 2^64
+	r2   uint64 // R² mod q, converts into Montgomery form
+}
+
+// NewMontgomery precomputes constants for odd q.
+func NewMontgomery(q uint64) (Montgomery, error) {
+	if err := ValidateModulus(q); err != nil {
+		return Montgomery{}, err
+	}
+	if q&1 == 0 {
+		return Montgomery{}, fmt.Errorf("modular: Montgomery requires an odd modulus, got %d", q)
+	}
+	// Newton iteration for q^-1 mod 2^64.
+	inv := q // correct mod 2^3
+	for i := 0; i < 5; i++ {
+		inv *= 2 - q*inv
+	}
+	// r2 = 2^128 mod q via two reductions of 2^64 mod q.
+	rModQ := (^uint64(0))%q + 1 // 2^64 mod q
+	r2 := Mul(rModQ, rModQ, q)
+	return Montgomery{q: q, qInv: -inv, r2: r2}, nil
+}
+
+// Modulus returns q.
+func (m Montgomery) Modulus() uint64 { return m.q }
+
+// reduce computes (hi·2^64 + lo)·R⁻¹ mod q (the REDC step). The input must
+// satisfy hi < q (true for products of reduced operands).
+func (m Montgomery) reduce(hi, lo uint64) uint64 {
+	u := lo * m.qInv
+	h, _ := bits.Mul64(u, m.q)
+	// low(u·q) == −lo (mod 2^64) by construction, so lo + low(u·q) carries
+	// exactly when lo != 0; the low word is always zero.
+	t := hi + h
+	if lo != 0 {
+		t++
+	}
+	if t >= m.q {
+		t -= m.q
+	}
+	return t
+}
+
+// ToMont converts a into Montgomery form aR mod q.
+func (m Montgomery) ToMont(a uint64) uint64 {
+	hi, lo := bits.Mul64(a%m.q, m.r2)
+	return m.reduce(hi, lo)
+}
+
+// FromMont converts out of Montgomery form.
+func (m Montgomery) FromMont(a uint64) uint64 {
+	return m.reduce(0, a)
+}
+
+// MulMont multiplies two values already in Montgomery form, returning a
+// Montgomery-form product.
+func (m Montgomery) MulMont(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return m.reduce(hi, lo)
+}
+
+// MulMod multiplies two plain residues using the Montgomery machinery
+// (convert, multiply, convert back); a drop-in replacement for Mul used in
+// cross-checking tests and benchmarks.
+func (m Montgomery) MulMod(a, b uint64) uint64 {
+	return m.FromMont(m.MulMont(m.ToMont(a), m.ToMont(b)))
+}

@@ -1,0 +1,253 @@
+// Package ring implements the polynomial quotient ring R_q = Z_q[x]/(x^n+1)
+// used by the BFV scheme: RNS (multi-prime) coefficient representation,
+// negacyclic number-theoretic transforms, and the arithmetic the encryptor,
+// decryptor and evaluator need. The coefficient layout follows SEAL:
+// coefficient i of residue j lives at Coeffs[j][i].
+package ring
+
+import (
+	"fmt"
+	"math/big"
+	"math/bits"
+
+	"reveal/internal/modular"
+)
+
+// Context holds precomputed state for R_q with a fixed degree n and a fixed
+// chain of NTT-friendly prime moduli.
+type Context struct {
+	N       int      // polynomial degree, a power of two
+	Moduli  []uint64 // coefficient modulus chain q_0 ... q_{k-1}
+	logN    int
+	tables  []nttTable
+	bigQ    *big.Int   // product of all moduli
+	qiHat   []*big.Int // Q / q_i
+	qiHatIn []uint64   // (Q/q_i)^-1 mod q_i
+}
+
+// nttTable holds per-modulus twiddle factors in bit-reversed order plus
+// Shoup preconditioners.
+type nttTable struct {
+	q           uint64
+	psiPows     []uint64 // psi^bitrev(i), psi a primitive 2n-th root
+	psiPowsPre  []uint64
+	ipsiPows    []uint64 // psi^-bitrev(i)
+	ipsiPowsPre []uint64
+	nInv        uint64 // n^-1 mod q
+	nInvPre     uint64
+}
+
+// NewContext validates the degree and moduli and precomputes NTT tables and
+// CRT constants. Each modulus must be prime, distinct, and ≡ 1 (mod 2n).
+func NewContext(n int, moduli []uint64) (*Context, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("ring: degree %d must be a power of two ≥ 2", n)
+	}
+	if len(moduli) == 0 {
+		return nil, fmt.Errorf("ring: at least one modulus required")
+	}
+	ctx := &Context{
+		N:      n,
+		Moduli: append([]uint64(nil), moduli...),
+		logN:   bits.TrailingZeros(uint(n)),
+	}
+	seen := map[uint64]bool{}
+	for _, q := range moduli {
+		if err := modular.ValidateModulus(q); err != nil {
+			return nil, err
+		}
+		if !modular.IsPrime(q) {
+			return nil, fmt.Errorf("ring: modulus %d is not prime", q)
+		}
+		if (q-1)%uint64(2*n) != 0 {
+			return nil, fmt.Errorf("ring: modulus %d is not ≡ 1 mod 2n=%d", q, 2*n)
+		}
+		if seen[q] {
+			return nil, fmt.Errorf("ring: duplicate modulus %d", q)
+		}
+		seen[q] = true
+		tbl, err := newNTTTable(n, q)
+		if err != nil {
+			return nil, err
+		}
+		ctx.tables = append(ctx.tables, tbl)
+	}
+	// CRT constants.
+	ctx.bigQ = big.NewInt(1)
+	for _, q := range moduli {
+		ctx.bigQ.Mul(ctx.bigQ, new(big.Int).SetUint64(q))
+	}
+	for _, q := range moduli {
+		qi := new(big.Int).SetUint64(q)
+		hat := new(big.Int).Quo(ctx.bigQ, qi)
+		ctx.qiHat = append(ctx.qiHat, hat)
+		hatMod := new(big.Int).Mod(hat, qi).Uint64()
+		inv, ok := modular.Inverse(hatMod, q)
+		if !ok {
+			return nil, fmt.Errorf("ring: CRT constant not invertible mod %d", q)
+		}
+		ctx.qiHatIn = append(ctx.qiHatIn, inv)
+	}
+	return ctx, nil
+}
+
+func newNTTTable(n int, q uint64) (nttTable, error) {
+	psi, err := modular.MinimalPrimitiveNthRoot(uint64(2*n), q)
+	if err != nil {
+		return nttTable{}, err
+	}
+	psiInv, ok := modular.Inverse(psi, q)
+	if !ok {
+		return nttTable{}, fmt.Errorf("ring: psi not invertible mod %d", q)
+	}
+	nInv, ok := modular.Inverse(uint64(n), q)
+	if !ok {
+		return nttTable{}, fmt.Errorf("ring: n not invertible mod %d", q)
+	}
+	tbl := nttTable{
+		q:           q,
+		psiPows:     make([]uint64, n),
+		psiPowsPre:  make([]uint64, n),
+		ipsiPows:    make([]uint64, n),
+		ipsiPowsPre: make([]uint64, n),
+		nInv:        nInv,
+		nInvPre:     modular.ShoupPrecon(nInv, q),
+	}
+	logN := bits.TrailingZeros(uint(n))
+	cur, icur := uint64(1), uint64(1)
+	for i := 0; i < n; i++ {
+		r := bitrev(uint32(i), logN)
+		tbl.psiPows[r] = cur
+		tbl.ipsiPows[r] = icur
+		cur = modular.Mul(cur, psi, q)
+		icur = modular.Mul(icur, psiInv, q)
+	}
+	for i := 0; i < n; i++ {
+		tbl.psiPowsPre[i] = modular.ShoupPrecon(tbl.psiPows[i], q)
+		tbl.ipsiPowsPre[i] = modular.ShoupPrecon(tbl.ipsiPows[i], q)
+	}
+	return tbl, nil
+}
+
+func bitrev(x uint32, bits int) uint32 {
+	var r uint32
+	for i := 0; i < bits; i++ {
+		r = (r << 1) | (x & 1)
+		x >>= 1
+	}
+	return r
+}
+
+// Level returns the number of moduli in the chain.
+func (c *Context) Level() int { return len(c.Moduli) }
+
+// BigQ returns the full coefficient modulus Q as a big integer (a copy).
+func (c *Context) BigQ() *big.Int { return new(big.Int).Set(c.bigQ) }
+
+// NewPoly allocates a zero polynomial in coefficient representation.
+func (c *Context) NewPoly() *Poly {
+	coeffs := make([][]uint64, len(c.Moduli))
+	backing := make([]uint64, len(c.Moduli)*c.N)
+	for j := range coeffs {
+		coeffs[j], backing = backing[:c.N:c.N], backing[c.N:]
+	}
+	return &Poly{ctx: c, Coeffs: coeffs}
+}
+
+// NTT transforms p to the evaluation (NTT) domain in place.
+func (c *Context) NTT(p *Poly) {
+	if p.InNTT {
+		return
+	}
+	for j := range c.tables {
+		c.nttForward(p.Coeffs[j], &c.tables[j])
+	}
+	p.InNTT = true
+}
+
+// INTT transforms p back to the coefficient domain in place.
+func (c *Context) INTT(p *Poly) {
+	if !p.InNTT {
+		return
+	}
+	for j := range c.tables {
+		c.nttInverse(p.Coeffs[j], &c.tables[j])
+	}
+	p.InNTT = false
+}
+
+// nttForward runs the negacyclic Cooley-Tukey NTT (natural order in,
+// bit-reversed twiddles, natural order out), the Longa-Naehrig layout.
+func (c *Context) nttForward(a []uint64, tbl *nttTable) {
+	n := c.N
+	q := tbl.q
+	t := n
+	for m := 1; m < n; m <<= 1 {
+		t >>= 1
+		for i := 0; i < m; i++ {
+			j1 := 2 * i * t
+			j2 := j1 + t
+			w := tbl.psiPows[m+i]
+			wPre := tbl.psiPowsPre[m+i]
+			for j := j1; j < j2; j++ {
+				u := a[j]
+				v := modular.MulShoup(a[j+t], w, wPre, q)
+				a[j] = modular.Add(u, v, q)
+				a[j+t] = modular.Sub(u, v, q)
+			}
+		}
+	}
+}
+
+// nttInverse runs the Gentleman-Sande inverse, including the 1/n scaling
+// and the psi^-1 twist (negacyclic).
+func (c *Context) nttInverse(a []uint64, tbl *nttTable) {
+	n := c.N
+	q := tbl.q
+	t := 1
+	for m := n; m > 1; m >>= 1 {
+		j1 := 0
+		h := m >> 1
+		for i := 0; i < h; i++ {
+			j2 := j1 + t
+			w := tbl.ipsiPows[h+i]
+			wPre := tbl.ipsiPowsPre[h+i]
+			for j := j1; j < j2; j++ {
+				u := a[j]
+				v := a[j+t]
+				a[j] = modular.Add(u, v, q)
+				a[j+t] = modular.MulShoup(modular.Sub(u, v, q), w, wPre, q)
+			}
+			j1 += 2 * t
+		}
+		t <<= 1
+	}
+	for j := 0; j < n; j++ {
+		a[j] = modular.MulShoup(a[j], tbl.nInv, tbl.nInvPre, q)
+	}
+}
+
+// ComposeCRT returns coefficient i of p (which must be in coefficient
+// representation) as a big integer in [0, Q).
+func (c *Context) ComposeCRT(p *Poly, i int) *big.Int {
+	acc := new(big.Int)
+	term := new(big.Int)
+	for j, q := range c.Moduli {
+		// acc += qiHat_j * ((x_j * qiHatInv_j) mod q_j)
+		xj := modular.Mul(p.Coeffs[j][i], c.qiHatIn[j], q)
+		term.SetUint64(xj)
+		term.Mul(term, c.qiHat[j])
+		acc.Add(acc, term)
+	}
+	return acc.Mod(acc, c.bigQ)
+}
+
+// SetCoeffBig sets coefficient i of p from a big integer (reduced mod each
+// prime). p must be in coefficient representation.
+func (c *Context) SetCoeffBig(p *Poly, i int, v *big.Int) {
+	tmp := new(big.Int)
+	for j, q := range c.Moduli {
+		tmp.Mod(v, tmp.SetUint64(q))
+		p.Coeffs[j][i] = tmp.Uint64()
+	}
+}

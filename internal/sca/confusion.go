@@ -1,0 +1,143 @@
+package sca
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Confusion accumulates a confusion matrix over (true label, predicted
+// label) pairs — the structure of Table I.
+type Confusion struct {
+	counts map[int]map[int]int
+}
+
+// NewConfusion creates an empty confusion matrix.
+func NewConfusion() *Confusion {
+	return &Confusion{counts: map[int]map[int]int{}}
+}
+
+// Add records one classification outcome.
+func (c *Confusion) Add(trueLabel, predicted int) {
+	row, ok := c.counts[trueLabel]
+	if !ok {
+		row = map[int]int{}
+		c.counts[trueLabel] = row
+	}
+	row[predicted]++
+}
+
+// Labels returns all labels seen (as truth or prediction), sorted.
+func (c *Confusion) Labels() []int {
+	seen := map[int]bool{}
+	for t, row := range c.counts {
+		seen[t] = true
+		for p := range row {
+			seen[p] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for l := range seen {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Total returns the number of recorded outcomes for a true label.
+func (c *Confusion) Total(trueLabel int) int {
+	n := 0
+	for _, v := range c.counts[trueLabel] {
+		n += v
+	}
+	return n
+}
+
+// Rate returns the fraction of trueLabel outcomes predicted as predicted
+// (0 when the label was never seen).
+func (c *Confusion) Rate(trueLabel, predicted int) float64 {
+	n := c.Total(trueLabel)
+	if n == 0 {
+		return 0
+	}
+	return float64(c.counts[trueLabel][predicted]) / float64(n)
+}
+
+// Accuracy returns the per-label success rate (diagonal of Table I).
+func (c *Confusion) Accuracy(label int) float64 { return c.Rate(label, label) }
+
+// OverallAccuracy returns the micro-averaged accuracy.
+func (c *Confusion) OverallAccuracy() float64 {
+	correct, total := 0, 0
+	for t, row := range c.counts {
+		for p, n := range row {
+			total += n
+			if p == t {
+				correct += n
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// FormatTable renders the matrix in the paper's Table I layout: rows are
+// predicted labels, columns are true labels, entries are percentages of the
+// column's trials. Labels outside [minLabel, maxLabel] are clipped, like
+// the paper's "−7..7 for brevity".
+func (c *Confusion) FormatTable(minLabel, maxLabel int) string {
+	var cols []int
+	for _, l := range c.Labels() {
+		if l >= minLabel && l <= maxLabel {
+			cols = append(cols, l)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s", "pred\\t")
+	for _, col := range cols {
+		fmt.Fprintf(&b, "%7d", col)
+	}
+	b.WriteByte('\n')
+	for _, row := range cols {
+		fmt.Fprintf(&b, "%6d", row)
+		for _, col := range cols {
+			// Table I convention: column = true value, row = prediction.
+			fmt.Fprintf(&b, "%7.1f", 100*c.Rate(col, row))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SignOf maps a coefficient value to its sign class: -1, 0, +1. Used for
+// the paper's claim that sign recovery is 100%.
+func SignOf(v int) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// SignAccuracy collapses the matrix to sign classes and returns the
+// accuracy of sign recovery.
+func (c *Confusion) SignAccuracy() float64 {
+	correct, total := 0, 0
+	for t, row := range c.counts {
+		for p, n := range row {
+			total += n
+			if SignOf(t) == SignOf(p) {
+				correct += n
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}

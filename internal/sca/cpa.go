@@ -1,0 +1,136 @@
+package sca
+
+import (
+	"fmt"
+	"math"
+
+	"reveal/internal/trace"
+)
+
+// Correlation power analysis (CPA) — the classic *multi-trace* attack the
+// paper contrasts itself with (§I: multi-trace attacks "do not work by
+// default on the encryption but can instead be useful when targeting
+// decryption", because encryption randomness is fresh per run while the
+// decryption key repeats). It is included as a baseline: CPA recovers a
+// repeating secret from many traces, and demonstrably fails given the
+// single trace RevEAL gets.
+
+// CPAResult ranks hypotheses by their best (positive) Pearson correlation
+// against any trace sample. Positive correlation is the right statistic
+// for a Hamming-weight model: more bits set means more power, and using
+// |corr| would tie every hypothesis with its bitwise complement.
+type CPAResult struct {
+	// Scores[h] is the peak correlation of hypothesis h.
+	Scores []float64
+	// BestHypothesis is the index of the winning hypothesis.
+	BestHypothesis int
+	// BestSample is the sample index where the winner peaked.
+	BestSample int
+}
+
+// CPA correlates each hypothesis's predicted leakage (one prediction per
+// trace) with the measured samples. traces must be equal length; for each
+// hypothesis h, predictions[h][k] is the model output (e.g. Hamming
+// weight) for trace k under hypothesis h.
+func CPA(traces []trace.Trace, predictions [][]float64) (*CPAResult, error) {
+	if len(traces) < 2 {
+		return nil, fmt.Errorf("sca: CPA needs at least 2 traces, got %d", len(traces))
+	}
+	nSamples := len(traces[0])
+	for i, tr := range traces {
+		if len(tr) != nSamples {
+			return nil, fmt.Errorf("sca: trace %d has %d samples, want %d", i, len(tr), nSamples)
+		}
+	}
+	if len(predictions) == 0 {
+		return nil, fmt.Errorf("sca: no hypotheses")
+	}
+	nTraces := len(traces)
+	for h, p := range predictions {
+		if len(p) != nTraces {
+			return nil, fmt.Errorf("sca: hypothesis %d has %d predictions, want %d", h, len(p), nTraces)
+		}
+	}
+
+	// Precompute per-sample means and norms of the measurements.
+	sampleMean := make([]float64, nSamples)
+	for _, tr := range traces {
+		for t, v := range tr {
+			sampleMean[t] += v
+		}
+	}
+	for t := range sampleMean {
+		sampleMean[t] /= float64(nTraces)
+	}
+	sampleNorm := make([]float64, nSamples)
+	for _, tr := range traces {
+		for t, v := range tr {
+			d := v - sampleMean[t]
+			sampleNorm[t] += d * d
+		}
+	}
+
+	res := &CPAResult{Scores: make([]float64, len(predictions)), BestHypothesis: -1}
+	bestScore := math.Inf(-1)
+	for h, pred := range predictions {
+		pm := 0.0
+		for _, v := range pred {
+			pm += v
+		}
+		pm /= float64(nTraces)
+		pNorm := 0.0
+		for _, v := range pred {
+			pNorm += (v - pm) * (v - pm)
+		}
+		if pNorm == 0 {
+			// Constant prediction correlates with nothing.
+			res.Scores[h] = 0
+			continue
+		}
+		peak, peakAt := math.Inf(-1), 0
+		for t := 0; t < nSamples; t++ {
+			if sampleNorm[t] == 0 {
+				continue
+			}
+			cov := 0.0
+			for k, tr := range traces {
+				cov += (pred[k] - pm) * (tr[t] - sampleMean[t])
+			}
+			c := cov / math.Sqrt(pNorm*sampleNorm[t])
+			if c > peak {
+				peak, peakAt = c, t
+			}
+		}
+		if math.IsInf(peak, -1) {
+			peak = 0
+		}
+		res.Scores[h] = peak
+		if peak > bestScore {
+			bestScore, res.BestHypothesis, res.BestSample = peak, h, peakAt
+		}
+	}
+	if res.BestHypothesis < 0 {
+		return nil, fmt.Errorf("sca: all hypotheses degenerate")
+	}
+	return res, nil
+}
+
+// HWPredictions builds the standard CPA leakage model: for each candidate
+// value, the predicted leakage of every trace is the Hamming weight of
+// modelFn(candidate, k). modelFn receives the candidate and the trace
+// index (so known per-trace inputs can be mixed in).
+func HWPredictions(candidates []uint32, nTraces int, modelFn func(candidate uint32, traceIdx int) uint32) [][]float64 {
+	out := make([][]float64, len(candidates))
+	for h, c := range candidates {
+		out[h] = make([]float64, nTraces)
+		for k := 0; k < nTraces; k++ {
+			v := modelFn(c, k)
+			hw := 0
+			for ; v != 0; v &= v - 1 {
+				hw++
+			}
+			out[h][k] = float64(hw)
+		}
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package sca
+
+import (
+	"testing"
+
+	"reveal/internal/sampler"
+	"reveal/internal/trace"
+)
+
+// cpaTraces synthesizes traces leaking HW(secret ^ input[k]) at sample 5.
+func cpaTraces(secret uint32, inputs []uint32, noise float64, seed uint64) []trace.Trace {
+	prng := sampler.NewXoshiro256(seed)
+	out := make([]trace.Trace, len(inputs))
+	for k, in := range inputs {
+		tr := make(trace.Trace, 12)
+		for t := range tr {
+			n, _ := sampler.NormFloat64(prng)
+			tr[t] = n * noise
+		}
+		v := secret ^ in
+		hw := 0
+		for ; v != 0; v &= v - 1 {
+			hw++
+		}
+		tr[5] += 0.1 * float64(hw)
+		out[k] = tr
+	}
+	return out
+}
+
+func TestCPARecoversRepeatingSecret(t *testing.T) {
+	const secret = 0xA7
+	prng := sampler.NewXoshiro256(9)
+	const nTraces = 300
+	inputs := make([]uint32, nTraces)
+	for i := range inputs {
+		inputs[i] = uint32(prng.Uint64() & 0xff)
+	}
+	traces := cpaTraces(secret, inputs, 0.05, 10)
+
+	candidates := make([]uint32, 256)
+	for i := range candidates {
+		candidates[i] = uint32(i)
+	}
+	preds := HWPredictions(candidates, nTraces, func(c uint32, k int) uint32 {
+		return c ^ inputs[k]
+	})
+	res, err := CPA(traces, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if candidates[res.BestHypothesis] != secret {
+		t.Errorf("CPA recovered %#x want %#x", candidates[res.BestHypothesis], secret)
+	}
+	if res.BestSample != 5 {
+		t.Errorf("CPA peaked at sample %d, leakage is at 5", res.BestSample)
+	}
+}
+
+// With fresh randomness per trace (the BFV encryption situation), CPA has
+// nothing to correlate — the paper's point about multi-trace attacks.
+func TestCPAFailsOnFreshRandomness(t *testing.T) {
+	prng := sampler.NewXoshiro256(11)
+	const nTraces = 300
+	inputs := make([]uint32, nTraces)
+	secrets := make([]uint32, nTraces) // a fresh secret every run
+	for i := range inputs {
+		inputs[i] = uint32(prng.Uint64() & 0xff)
+		secrets[i] = uint32(prng.Uint64() & 0xff)
+	}
+	traces := make([]trace.Trace, nTraces)
+	for k := range traces {
+		traces[k] = cpaTraces(secrets[k], inputs[k:k+1], 0.05, uint64(12+k))[0]
+	}
+	candidates := make([]uint32, 256)
+	for i := range candidates {
+		candidates[i] = uint32(i)
+	}
+	preds := HWPredictions(candidates, nTraces, func(c uint32, k int) uint32 {
+		return c ^ inputs[k]
+	})
+	res, err := CPA(traces, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No hypothesis should stand out: peak correlation stays small.
+	if res.Scores[res.BestHypothesis] > 0.5 {
+		t.Errorf("CPA found correlation %.3f against fresh randomness",
+			res.Scores[res.BestHypothesis])
+	}
+}
+
+func TestCPAValidation(t *testing.T) {
+	one := []trace.Trace{{1, 2}}
+	if _, err := CPA(one, [][]float64{{1}}); err == nil {
+		t.Error("single trace should fail")
+	}
+	two := []trace.Trace{{1, 2}, {3, 4}}
+	if _, err := CPA(two, nil); err == nil {
+		t.Error("no hypotheses should fail")
+	}
+	if _, err := CPA(two, [][]float64{{1}}); err == nil {
+		t.Error("prediction length mismatch should fail")
+	}
+	ragged := []trace.Trace{{1, 2}, {3}}
+	if _, err := CPA(ragged, [][]float64{{1, 2}}); err == nil {
+		t.Error("ragged traces should fail")
+	}
+	// All-constant predictions are degenerate.
+	if _, err := CPA(two, [][]float64{{5, 5}}); err == nil {
+		t.Error("constant-only hypotheses should fail")
+	}
+}
+
+func TestHWPredictions(t *testing.T) {
+	preds := HWPredictions([]uint32{0, 1, 3, 255}, 2, func(c uint32, k int) uint32 {
+		return c
+	})
+	want := []float64{0, 1, 2, 8}
+	for h := range preds {
+		for k := 0; k < 2; k++ {
+			if preds[h][k] != want[h] {
+				t.Errorf("pred[%d][%d]=%v want %v", h, k, preds[h][k], want[h])
+			}
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package sca
+
+import (
+	"fmt"
+	"math"
+
+	"reveal/internal/linalg"
+	"reveal/internal/trace"
+)
+
+// Fisher linear discriminant analysis: a supervised projection that
+// maximizes between-class over within-class scatter. The paper's related
+// work ([20], [36]) uses machine-learned profiling to beat raw-POI
+// templates, especially cross-device; LDA is the classical instance of
+// that idea and composes with the template machinery here (project, then
+// build templates on the components).
+type LDA struct {
+	// GlobalMean is subtracted before projecting.
+	GlobalMean []float64
+	// Proj is the d×k projection matrix (columns = discriminant axes).
+	Proj *linalg.Matrix
+}
+
+// FitLDA learns up to `components` discriminant directions from a labeled
+// set. ridge stabilizes the within-class scatter inversion.
+func FitLDA(set *trace.Set, components int, ridge float64) (*LDA, error) {
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	if set.Len() == 0 {
+		return nil, fmt.Errorf("sca: empty set")
+	}
+	if components < 1 {
+		return nil, fmt.Errorf("sca: need at least 1 component")
+	}
+	d := len(set.Traces[0])
+	groups := set.ByLabel()
+	if len(groups) < 2 {
+		return nil, fmt.Errorf("sca: LDA needs at least 2 classes")
+	}
+	if components > len(groups)-1 {
+		components = len(groups) - 1
+	}
+
+	// Class and global means.
+	global := make([]float64, d)
+	classMeans := map[int][]float64{}
+	for label, idxs := range groups {
+		mean := make([]float64, d)
+		for _, idx := range idxs {
+			for t, v := range set.Traces[idx] {
+				mean[t] += v
+			}
+		}
+		for t := range mean {
+			mean[t] /= float64(len(idxs))
+			global[t] += mean[t] * float64(len(idxs))
+		}
+		classMeans[label] = mean
+	}
+	total := float64(set.Len())
+	for t := range global {
+		global[t] /= total
+	}
+
+	// Scatter matrices.
+	sw := linalg.NewMatrix(d, d)
+	sb := linalg.NewMatrix(d, d)
+	for label, idxs := range groups {
+		mean := classMeans[label]
+		for _, idx := range idxs {
+			tr := set.Traces[idx]
+			for i := 0; i < d; i++ {
+				di := tr[i] - mean[i]
+				if di == 0 {
+					continue
+				}
+				for j := 0; j < d; j++ {
+					sw.Set(i, j, sw.At(i, j)+di*(tr[j]-mean[j]))
+				}
+			}
+		}
+		nc := float64(len(idxs))
+		for i := 0; i < d; i++ {
+			bi := mean[i] - global[i]
+			for j := 0; j < d; j++ {
+				sb.Set(i, j, sb.At(i, j)+nc*bi*(mean[j]-global[j]))
+			}
+		}
+	}
+	linalg.RegularizeSPD(sw, ridge+1e-12)
+
+	// Whiten Sw: W = V λ^{-1/2} Vᵀ.
+	swVals, swVecs, err := linalg.EigSym(sw, 0, 0)
+	if err != nil {
+		return nil, fmt.Errorf("sca: within-class scatter: %w", err)
+	}
+	inv := linalg.NewMatrix(d, d)
+	for i, v := range swVals {
+		if v <= 0 {
+			return nil, fmt.Errorf("sca: within-class scatter not PD (eigenvalue %v)", v)
+		}
+		inv.Set(i, i, 1/math.Sqrt(v))
+	}
+	tmp, err := swVecs.Mul(inv)
+	if err != nil {
+		return nil, err
+	}
+	w, err := tmp.Mul(swVecs.Transpose())
+	if err != nil {
+		return nil, err
+	}
+
+	// Eigen-decompose the whitened between-class scatter.
+	wsb, err := w.Mul(sb)
+	if err != nil {
+		return nil, err
+	}
+	m, err := wsb.Mul(w)
+	if err != nil {
+		return nil, err
+	}
+	// Symmetrize against rounding before EigSym.
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			avg := 0.5 * (m.At(i, j) + m.At(j, i))
+			m.Set(i, j, avg)
+			m.Set(j, i, avg)
+		}
+	}
+	_, mVecs, err := linalg.EigSym(m, 0, 0)
+	if err != nil {
+		return nil, fmt.Errorf("sca: between-class scatter: %w", err)
+	}
+	// Proj = W · U_k (top-k whitened directions mapped back).
+	uk := linalg.NewMatrix(d, components)
+	for i := 0; i < d; i++ {
+		for j := 0; j < components; j++ {
+			uk.Set(i, j, mVecs.At(i, j))
+		}
+	}
+	proj, err := w.Mul(uk)
+	if err != nil {
+		return nil, err
+	}
+	return &LDA{GlobalMean: global, Proj: proj}, nil
+}
+
+// Components returns the projection dimensionality.
+func (l *LDA) Components() int { return l.Proj.Cols }
+
+// Transform projects a trace onto the discriminant axes.
+func (l *LDA) Transform(tr trace.Trace) ([]float64, error) {
+	if len(tr) != len(l.GlobalMean) {
+		return nil, fmt.Errorf("sca: trace length %d, LDA trained on %d", len(tr), len(l.GlobalMean))
+	}
+	centered := make([]float64, len(tr))
+	for i, v := range tr {
+		centered[i] = v - l.GlobalMean[i]
+	}
+	out := make([]float64, l.Proj.Cols)
+	for j := 0; j < l.Proj.Cols; j++ {
+		s := 0.0
+		for i := 0; i < l.Proj.Rows; i++ {
+			s += l.Proj.At(i, j) * centered[i]
+		}
+		out[j] = s
+	}
+	return out, nil
+}
+
+// TransformSet projects every trace, producing a reduced-dimension set on
+// which templates can be trained with POIs = all components.
+func (l *LDA) TransformSet(set *trace.Set) (*trace.Set, error) {
+	out := &trace.Set{}
+	for i, tr := range set.Traces {
+		f, err := l.Transform(tr)
+		if err != nil {
+			return nil, err
+		}
+		out.Append(trace.Trace(f), set.Labels[i])
+	}
+	return out, nil
+}
+
+// AllPOIs returns [0, 1, …, k−1], the POI list for template building on
+// LDA components.
+func (l *LDA) AllPOIs() []int {
+	out := make([]int, l.Proj.Cols)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

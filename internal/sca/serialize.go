@@ -1,0 +1,147 @@
+package sca
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"reveal/internal/linalg"
+)
+
+// Binary serialization of trained templates, so a profiling campaign can
+// be run once and reused across attack sessions (the paper's profiling
+// cost was 220,000 device executions — worth persisting).
+
+const (
+	templatesMagic   = "SCTM"
+	templatesVersion = 1
+)
+
+// WriteTemplates serializes a trained template set.
+func WriteTemplates(w io.Writer, t *Templates) error {
+	if t == nil || len(t.classes) == 0 {
+		return fmt.Errorf("sca: cannot serialize empty templates")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(templatesMagic); err != nil {
+		return err
+	}
+	pooled := uint32(0)
+	if t.pooled {
+		pooled = 1
+	}
+	d := len(t.POIs)
+	header := []uint32{templatesVersion, pooled, uint32(d), uint32(len(t.classes))}
+	for _, v := range header {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, p := range t.POIs {
+		if err := binary.Write(bw, binary.LittleEndian, int32(p)); err != nil {
+			return err
+		}
+	}
+	writeFloats := func(fs []float64) error {
+		for _, f := range fs {
+			if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(f)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, c := range t.classes {
+		if err := binary.Write(bw, binary.LittleEndian, int32(c.label)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(c.count)); err != nil {
+			return err
+		}
+		if err := writeFloats(c.mean); err != nil {
+			return err
+		}
+		if err := writeFloats(c.chol.Data); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(c.logDet)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTemplates deserializes a template set written by WriteTemplates.
+func ReadTemplates(r io.Reader) (*Templates, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("sca: reading magic: %w", err)
+	}
+	if string(magic) != templatesMagic {
+		return nil, fmt.Errorf("sca: bad magic %q", magic)
+	}
+	var version, pooled, d, nClasses uint32
+	for _, p := range []*uint32{&version, &pooled, &d, &nClasses} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	if version != templatesVersion {
+		return nil, fmt.Errorf("sca: unsupported version %d", version)
+	}
+	if d == 0 || d > 4096 || nClasses == 0 || nClasses > 4096 {
+		return nil, fmt.Errorf("sca: implausible header d=%d classes=%d", d, nClasses)
+	}
+	t := &Templates{POIs: make([]int, d), pooled: pooled == 1}
+	for i := range t.POIs {
+		var p int32
+		if err := binary.Read(br, binary.LittleEndian, &p); err != nil {
+			return nil, err
+		}
+		if p < 0 {
+			return nil, fmt.Errorf("sca: negative POI %d", p)
+		}
+		t.POIs[i] = int(p)
+	}
+	readFloats := func(n int) ([]float64, error) {
+		out := make([]float64, n)
+		for i := range out {
+			var bits uint64
+			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+				return nil, err
+			}
+			out[i] = math.Float64frombits(bits)
+		}
+		return out, nil
+	}
+	for c := uint32(0); c < nClasses; c++ {
+		var label int32
+		var count uint32
+		if err := binary.Read(br, binary.LittleEndian, &label); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+			return nil, err
+		}
+		mean, err := readFloats(int(d))
+		if err != nil {
+			return nil, err
+		}
+		cholData, err := readFloats(int(d * d))
+		if err != nil {
+			return nil, err
+		}
+		var ldBits uint64
+		if err := binary.Read(br, binary.LittleEndian, &ldBits); err != nil {
+			return nil, err
+		}
+		chol := &linalg.Matrix{Rows: int(d), Cols: int(d), Data: cholData}
+		t.classes = append(t.classes, classTemplate{
+			label: int(label), count: int(count), mean: mean,
+			chol: chol, logDet: math.Float64frombits(ldBits),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,207 @@
+package sca
+
+import (
+	"fmt"
+	"math"
+
+	"reveal/internal/linalg"
+	"reveal/internal/trace"
+)
+
+// Stochastic-model profiling (Schindler et al.): instead of estimating one
+// template per value, fit a *linear* leakage model per sample,
+//
+//	L_t(v) ≈ β_t,0 + Σ_i β_t,i · basis_i(v),
+//
+// by least squares over the profiling set. The model needs far fewer
+// traces than one-template-per-value and — because it fits physical basis
+// functions (bit lines) rather than raw class means — is the classical
+// answer to the cross-device portability problem the paper raises in
+// §V-B. Classification picks the candidate whose predicted leakage is
+// nearest (weighted by per-sample residual variance).
+type StochasticModel struct {
+	// Basis maps a candidate label to its feature vector (without the
+	// constant term, which the model adds internally).
+	Basis func(label int) []float64
+	// Beta is (basisDim+1) × nSamples: per-sample regression coefficients.
+	Beta *linalg.Matrix
+	// ResidVar is the per-sample residual variance (noise estimate).
+	ResidVar []float64
+	// POIs are the samples used for classification, picked by explained
+	// variance.
+	POIs []int
+	// Labels are the candidate labels this model can classify into.
+	Labels []int
+}
+
+// FitStochastic fits the model on a labeled set.
+func FitStochastic(set *trace.Set, basis func(label int) []float64, poiCount int) (*StochasticModel, error) {
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	if set.Len() < 4 {
+		return nil, fmt.Errorf("sca: stochastic fit needs at least 4 traces")
+	}
+	if basis == nil {
+		return nil, fmt.Errorf("sca: nil basis")
+	}
+	distinct := map[int]bool{}
+	for _, l := range set.Labels {
+		distinct[l] = true
+	}
+	if len(distinct) < 2 {
+		return nil, fmt.Errorf("sca: stochastic fit needs at least 2 distinct labels, got %d", len(distinct))
+	}
+	if poiCount < 1 {
+		return nil, fmt.Errorf("sca: poiCount must be positive")
+	}
+	nTr := set.Len()
+	nS := len(set.Traces[0])
+	d := len(basis(set.Labels[0])) + 1 // + constant term
+	if nTr <= d {
+		return nil, fmt.Errorf("sca: %d traces cannot fit %d coefficients", nTr, d)
+	}
+
+	// Design matrix X (nTr × d) shared across samples.
+	x := linalg.NewMatrix(nTr, d)
+	for k := 0; k < nTr; k++ {
+		x.Set(k, 0, 1)
+		f := basis(set.Labels[k])
+		if len(f) != d-1 {
+			return nil, fmt.Errorf("sca: basis dimension changed across labels")
+		}
+		for i, v := range f {
+			x.Set(k, i+1, v)
+		}
+	}
+	// Normal equations: (XᵀX) B = Xᵀ Y, solved column-by-column of Y.
+	xt := x.Transpose()
+	xtx, err := xt.Mul(x)
+	if err != nil {
+		return nil, err
+	}
+	linalg.RegularizeSPD(xtx, 1e-9)
+	chol, err := linalg.Cholesky(xtx)
+	if err != nil {
+		return nil, fmt.Errorf("sca: design matrix degenerate (labels not diverse enough): %w", err)
+	}
+
+	beta := linalg.NewMatrix(d, nS)
+	residVar := make([]float64, nS)
+	y := make([]float64, nTr)
+	for t := 0; t < nS; t++ {
+		for k := 0; k < nTr; k++ {
+			y[k] = set.Traces[k][t]
+		}
+		xty, err := xt.MulVec(y)
+		if err != nil {
+			return nil, err
+		}
+		b, err := linalg.SolveCholesky(chol, xty)
+		if err != nil {
+			return nil, err
+		}
+		var ssr float64
+		for k := 0; k < nTr; k++ {
+			pred := b[0]
+			for i := 1; i < d; i++ {
+				pred += b[i] * x.At(k, i)
+			}
+			r := y[k] - pred
+			ssr += r * r
+		}
+		for i := 0; i < d; i++ {
+			beta.Set(i, t, b[i])
+		}
+		residVar[t] = ssr/float64(nTr-d) + 1e-12
+	}
+
+	// Distinct labels.
+	seen := map[int]bool{}
+	var labels []int
+	for _, l := range set.Labels {
+		if !seen[l] {
+			seen[l] = true
+			labels = append(labels, l)
+		}
+	}
+
+	m := &StochasticModel{Basis: basis, Beta: beta, ResidVar: residVar, Labels: labels}
+	// POIs: samples where the model explains the most variance relative to
+	// noise — score = Var_labels(pred_t) / residVar_t.
+	scores := make([]float64, nS)
+	for t := 0; t < nS; t++ {
+		var mean, m2 float64
+		for i, l := range labels {
+			p := m.predict(l, t)
+			delta := p - mean
+			mean += delta / float64(i+1)
+			m2 += delta * (p - mean)
+		}
+		scores[t] = m2 / float64(len(labels)) / residVar[t]
+	}
+	m.POIs = SelectPOIs(scores, poiCount, 1)
+	if len(m.POIs) == 0 {
+		return nil, fmt.Errorf("sca: no informative samples")
+	}
+	return m, nil
+}
+
+// predict returns the modeled leakage of label at sample t.
+func (m *StochasticModel) predict(label int, t int) float64 {
+	f := m.Basis(label)
+	p := m.Beta.At(0, t)
+	for i, v := range f {
+		p += m.Beta.At(i+1, t) * v
+	}
+	return p
+}
+
+// Classify returns the candidate whose predicted leakage best matches the
+// trace (Gaussian log-likelihood with per-sample variances).
+func (m *StochasticModel) Classify(tr trace.Trace) (int, error) {
+	ll, err := m.LogLikelihoods(tr)
+	if err != nil {
+		return 0, err
+	}
+	best, bestLL := 0, math.Inf(-1)
+	first := true
+	for _, l := range m.Labels {
+		if first || ll[l] > bestLL {
+			best, bestLL = l, ll[l]
+			first = false
+		}
+	}
+	return best, nil
+}
+
+// LogLikelihoods scores every candidate label.
+func (m *StochasticModel) LogLikelihoods(tr trace.Trace) (map[int]float64, error) {
+	if len(tr) <= m.POIs[len(m.POIs)-1] {
+		return nil, fmt.Errorf("sca: trace of %d samples shorter than POI range", len(tr))
+	}
+	out := make(map[int]float64, len(m.Labels))
+	for _, l := range m.Labels {
+		s := 0.0
+		for _, t := range m.POIs {
+			r := tr[t] - m.predict(l, t)
+			s -= r * r / (2 * m.ResidVar[t])
+		}
+		out[l] = s
+	}
+	return out, nil
+}
+
+// BitBasis returns a basis function mapping a label to the bits of
+// valueFn(label) — the canonical stochastic-model basis for Hamming-style
+// leakage on a width-bit bus.
+func BitBasis(width int, valueFn func(label int) uint32) func(int) []float64 {
+	return func(label int) []float64 {
+		v := valueFn(label)
+		f := make([]float64, width)
+		for b := 0; b < width; b++ {
+			f[b] = float64((v >> b) & 1)
+		}
+		return f
+	}
+}

@@ -1,0 +1,293 @@
+package sca
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"reveal/internal/linalg"
+	"reveal/internal/trace"
+)
+
+// TemplateOptions configures template construction.
+type TemplateOptions struct {
+	// POICount is how many points of interest to keep.
+	POICount int
+	// MinSpacing is the minimum distance between selected POIs.
+	MinSpacing int
+	// Ridge is added to the covariance diagonal for numerical stability.
+	Ridge float64
+	// Pooled uses one covariance matrix shared by all classes (the usual
+	// practical choice); otherwise each class estimates its own.
+	Pooled bool
+	// Selector chooses the POI score ("sosd" — the paper's method — or
+	// "sost"). Empty means "sosd".
+	Selector string
+}
+
+// DefaultTemplateOptions mirror the paper's setup: SOSD-selected POIs,
+// pooled covariance.
+func DefaultTemplateOptions() TemplateOptions {
+	return TemplateOptions{POICount: 12, MinSpacing: 2, Ridge: 1e-6, Pooled: true, Selector: "sosd"}
+}
+
+// classTemplate is the per-label multivariate Gaussian.
+type classTemplate struct {
+	label  int
+	count  int
+	mean   []float64
+	chol   *linalg.Matrix // Cholesky factor of the covariance
+	logDet float64
+}
+
+// Templates is a trained template attack.
+type Templates struct {
+	POIs    []int
+	classes []classTemplate
+	pooled  bool
+}
+
+// BuildTemplates trains templates from a labeled profiling set (the
+// 220,000-trace campaign of §IV-B, at whatever scale the caller chose).
+func BuildTemplates(set *trace.Set, opts TemplateOptions) (*Templates, error) {
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	if set.Len() == 0 {
+		return nil, fmt.Errorf("sca: empty profiling set")
+	}
+	if opts.POICount <= 0 {
+		return nil, fmt.Errorf("sca: POICount must be positive")
+	}
+	var scores []float64
+	var err error
+	switch opts.Selector {
+	case "", "sosd":
+		scores, err = SOSD(set)
+	case "sost":
+		scores, err = SOST(set)
+	default:
+		return nil, fmt.Errorf("sca: unknown POI selector %q", opts.Selector)
+	}
+	if err != nil {
+		return nil, err
+	}
+	pois := SelectPOIs(scores, opts.POICount, opts.MinSpacing)
+	if len(pois) == 0 {
+		return nil, fmt.Errorf("sca: no POIs selected")
+	}
+	return BuildTemplatesAtPOIs(set, pois, opts)
+}
+
+// BuildTemplatesAtPOIs trains templates using caller-chosen POIs.
+func BuildTemplatesAtPOIs(set *trace.Set, pois []int, opts TemplateOptions) (*Templates, error) {
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	for _, p := range pois {
+		if p < 0 || (set.Len() > 0 && p >= len(set.Traces[0])) {
+			return nil, fmt.Errorf("sca: POI %d out of range", p)
+		}
+	}
+	d := len(pois)
+	groups := set.ByLabel()
+	labels := make([]int, 0, len(groups))
+	for l := range groups {
+		labels = append(labels, l)
+	}
+	sort.Ints(labels)
+	if len(labels) < 2 {
+		return nil, fmt.Errorf("sca: need at least 2 classes, got %d", len(labels))
+	}
+
+	// Per-class means.
+	means := map[int][]float64{}
+	for _, l := range labels {
+		mean := make([]float64, d)
+		for _, idx := range groups[l] {
+			f := Extract(set.Traces[idx], pois)
+			for i, v := range f {
+				mean[i] += v
+			}
+		}
+		for i := range mean {
+			mean[i] /= float64(len(groups[l]))
+		}
+		means[l] = mean
+	}
+
+	// Covariances: pooled or per class.
+	newCov := func() *linalg.Matrix { return linalg.NewMatrix(d, d) }
+	accumulate := func(cov *linalg.Matrix, idxs []int, mean []float64) int {
+		for _, idx := range idxs {
+			f := Extract(set.Traces[idx], pois)
+			for i := 0; i < d; i++ {
+				di := f[i] - mean[i]
+				for j := 0; j < d; j++ {
+					cov.Set(i, j, cov.At(i, j)+di*(f[j]-mean[j]))
+				}
+			}
+		}
+		return len(idxs)
+	}
+	finalize := func(cov *linalg.Matrix, n int) (*linalg.Matrix, float64, error) {
+		if n < 2 {
+			n = 2
+		}
+		cov = cov.Scale(1 / float64(n-1))
+		linalg.RegularizeSPD(cov, opts.Ridge)
+		chol, err := linalg.Cholesky(cov)
+		if err != nil {
+			return nil, 0, fmt.Errorf("sca: covariance not PD (add ridge): %w", err)
+		}
+		logDet := 0.0
+		for i := 0; i < d; i++ {
+			logDet += 2 * math.Log(chol.At(i, i))
+		}
+		return chol, logDet, nil
+	}
+
+	t := &Templates{POIs: append([]int(nil), pois...), pooled: opts.Pooled}
+	if opts.Pooled {
+		cov := newCov()
+		total := 0
+		for _, l := range labels {
+			total += accumulate(cov, groups[l], means[l])
+		}
+		chol, logDet, err := finalize(cov, total)
+		if err != nil {
+			return nil, err
+		}
+		for _, l := range labels {
+			t.classes = append(t.classes, classTemplate{
+				label: l, count: len(groups[l]), mean: means[l], chol: chol, logDet: logDet,
+			})
+		}
+	} else {
+		for _, l := range labels {
+			cov := newCov()
+			n := accumulate(cov, groups[l], means[l])
+			chol, logDet, err := finalize(cov, n)
+			if err != nil {
+				return nil, fmt.Errorf("sca: class %d: %w", l, err)
+			}
+			t.classes = append(t.classes, classTemplate{
+				label: l, count: n, mean: means[l], chol: chol, logDet: logDet,
+			})
+		}
+	}
+	return t, nil
+}
+
+// Labels returns the class labels in ascending order.
+func (t *Templates) Labels() []int {
+	out := make([]int, len(t.classes))
+	for i, c := range t.classes {
+		out[i] = c.label
+	}
+	return out
+}
+
+// LogLikelihoods returns the Gaussian log-density of the trace under each
+// class, keyed by label.
+func (t *Templates) LogLikelihoods(tr trace.Trace) (map[int]float64, error) {
+	if len(tr) <= t.POIs[len(t.POIs)-1] {
+		return nil, fmt.Errorf("sca: trace of %d samples shorter than POI range", len(tr))
+	}
+	f := Extract(tr, t.POIs)
+	out := make(map[int]float64, len(t.classes))
+	d := float64(len(t.POIs))
+	resid := make([]float64, len(f))
+	for _, c := range t.classes {
+		for i := range f {
+			resid[i] = f[i] - c.mean[i]
+		}
+		// Mahalanobis distance via the Cholesky solve.
+		x, err := linalg.SolveCholesky(c.chol, resid)
+		if err != nil {
+			return nil, err
+		}
+		mahal := linalg.Dot(resid, x)
+		out[c.label] = -0.5 * (mahal + c.logDet + d*math.Log(2*math.Pi))
+	}
+	return out, nil
+}
+
+// Classify returns the maximum-likelihood label.
+func (t *Templates) Classify(tr trace.Trace) (int, error) {
+	ll, err := t.LogLikelihoods(tr)
+	if err != nil {
+		return 0, err
+	}
+	best, bestLL := 0, math.Inf(-1)
+	first := true
+	for _, c := range t.classes { // iterate classes for deterministic ties
+		v := ll[c.label]
+		if first || v > bestLL {
+			best, bestLL = c.label, v
+			first = false
+		}
+	}
+	return best, nil
+}
+
+// Probabilities converts log-likelihoods into a posterior over labels via
+// a numerically-stable softmax (uniform prior), the per-measurement score
+// table that Table II reports and the DBDD hints consume.
+func (t *Templates) Probabilities(tr trace.Trace) (map[int]float64, error) {
+	ll, err := t.LogLikelihoods(tr)
+	if err != nil {
+		return nil, err
+	}
+	max := math.Inf(-1)
+	for _, v := range ll {
+		if v > max {
+			max = v
+		}
+	}
+	sum := 0.0
+	out := make(map[int]float64, len(ll))
+	for l, v := range ll {
+		e := math.Exp(v - max)
+		out[l] = e
+		sum += e
+	}
+	for l := range out {
+		out[l] /= sum
+	}
+	return out, nil
+}
+
+// CombineProbabilities multiplies independent posteriors (e.g. the V2 value
+// template and the V3 negation template) and renormalizes — the paper's
+// combination of the second and third vulnerability.
+func CombineProbabilities(ps ...map[int]float64) map[int]float64 {
+	if len(ps) == 0 {
+		return nil
+	}
+	out := map[int]float64{}
+	for l, v := range ps[0] {
+		out[l] = v
+	}
+	for _, p := range ps[1:] {
+		for l := range out {
+			out[l] *= p[l]
+		}
+	}
+	sum := 0.0
+	for _, v := range out {
+		sum += v
+	}
+	if sum <= 0 {
+		// Degenerate: fall back to uniform over the label set.
+		u := 1.0 / float64(len(out))
+		for l := range out {
+			out[l] = u
+		}
+		return out
+	}
+	for l := range out {
+		out[l] /= sum
+	}
+	return out
+}

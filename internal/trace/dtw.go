@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dynamic time warping: elastic alignment for the time-variant sub-traces
+// the paper's sampler produces. An alternative to the tail-alignment the
+// core pipeline uses, exposed for analysis tooling.
+
+// DTW returns the dynamic-time-warping distance between a and b plus the
+// optimal warping path as index pairs (i into a, j into b). window
+// constrains |i−j| (Sakoe-Chiba band); window <= 0 means unconstrained.
+func DTW(a, b Trace, window int) (float64, [][2]int, error) {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return 0, nil, fmt.Errorf("trace: DTW on empty trace")
+	}
+	if window <= 0 {
+		window = n + m
+	}
+	// Widen the band so the corner is always reachable.
+	if d := m - n; d > 0 && window < d {
+		window = d
+	} else if d < 0 && window < -d {
+		window = -d
+	}
+
+	inf := math.Inf(1)
+	cost := make([][]float64, n+1)
+	for i := range cost {
+		cost[i] = make([]float64, m+1)
+		for j := range cost[i] {
+			cost[i][j] = inf
+		}
+	}
+	cost[0][0] = 0
+	for i := 1; i <= n; i++ {
+		jLo, jHi := i-window, i+window
+		if jLo < 1 {
+			jLo = 1
+		}
+		if jHi > m {
+			jHi = m
+		}
+		for j := jLo; j <= jHi; j++ {
+			d := a[i-1] - b[j-1]
+			d *= d
+			best := cost[i-1][j]
+			if cost[i][j-1] < best {
+				best = cost[i][j-1]
+			}
+			if cost[i-1][j-1] < best {
+				best = cost[i-1][j-1]
+			}
+			cost[i][j] = d + best
+		}
+	}
+	if math.IsInf(cost[n][m], 1) {
+		return 0, nil, fmt.Errorf("trace: DTW band too narrow for lengths %d/%d", n, m)
+	}
+
+	// Backtrack.
+	var path [][2]int
+	i, j := n, m
+	for i > 0 || j > 0 {
+		path = append(path, [2]int{i - 1, j - 1})
+		switch {
+		case i == 1 && j == 1:
+			i, j = 0, 0
+		case i == 1:
+			j--
+		case j == 1:
+			i--
+		default:
+			diag, up, left := cost[i-1][j-1], cost[i-1][j], cost[i][j-1]
+			if diag <= up && diag <= left {
+				i, j = i-1, j-1
+			} else if up <= left {
+				i--
+			} else {
+				j--
+			}
+		}
+	}
+	// Reverse into forward order.
+	for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+		path[l], path[r] = path[r], path[l]
+	}
+	return math.Sqrt(cost[n][m]), path, nil
+}
+
+// WarpTo warps t onto the time base of ref using the DTW path: the result
+// has len(ref) samples, each the average of the t-samples matched to that
+// reference position. Used to normalize time-variant segments before
+// statistics that assume fixed positions.
+func WarpTo(ref, t Trace, window int) (Trace, error) {
+	_, path, err := DTW(ref, t, window)
+	if err != nil {
+		return nil, err
+	}
+	out := make(Trace, len(ref))
+	counts := make([]int, len(ref))
+	for _, pq := range path {
+		out[pq[0]] += t[pq[1]]
+		counts[pq[0]]++
+	}
+	for i := range out {
+		if counts[i] > 0 {
+			out[i] /= float64(counts[i])
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// Binary format: magic "RVTS", uint32 version, uint32 trace count, uint32
+// samples per trace, then labels (int32 each), then samples (float64
+// little-endian, trace-major).
+const (
+	setMagic   = "RVTS"
+	setVersion = 1
+)
+
+// WriteSet serializes a validated Set.
+func WriteSet(w io.Writer, s *Set) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(setMagic); err != nil {
+		return err
+	}
+	sampleCount := 0
+	if len(s.Traces) > 0 {
+		sampleCount = len(s.Traces[0])
+	}
+	for _, v := range []uint32{setVersion, uint32(len(s.Traces)), uint32(sampleCount)} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, l := range s.Labels {
+		if err := binary.Write(bw, binary.LittleEndian, int32(l)); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, 8)
+	for _, t := range s.Traces {
+		for _, v := range t {
+			binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSet deserializes a Set written by WriteSet.
+func ReadSet(r io.Reader) (*Set, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != setMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	var version, count, samples uint32
+	for _, p := range []*uint32{&version, &count, &samples} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	if version != setVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", version)
+	}
+	const maxReasonable = 1 << 28
+	if uint64(count)*uint64(samples) > maxReasonable {
+		return nil, fmt.Errorf("trace: header claims %d×%d samples, refusing", count, samples)
+	}
+	s := &Set{}
+	for i := uint32(0); i < count; i++ {
+		var l int32
+		if err := binary.Read(br, binary.LittleEndian, &l); err != nil {
+			return nil, err
+		}
+		s.Labels = append(s.Labels, int(l))
+	}
+	buf := make([]byte, 8)
+	for i := uint32(0); i < count; i++ {
+		t := make(Trace, samples)
+		for j := uint32(0); j < samples; j++ {
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, err
+			}
+			t[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+		}
+		s.Traces = append(s.Traces, t)
+	}
+	return s, nil
+}
+
+// WriteCSV emits "index,value" rows for a single trace, the format the
+// figure tooling plots.
+func WriteCSV(w io.Writer, t Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("sample,power\n"); err != nil {
+		return err
+	}
+	for i, v := range t {
+		if _, err := bw.WriteString(strconv.Itoa(i)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(','); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(strconv.FormatFloat(v, 'g', 10, 64)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteMultiCSV emits several labeled series side by side:
+// "sample,label0,label1,..." padding shorter series with empty cells.
+func WriteMultiCSV(w io.Writer, names []string, series []Trace) error {
+	if len(names) != len(series) {
+		return fmt.Errorf("trace: %d names for %d series", len(names), len(series))
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("sample"); err != nil {
+		return err
+	}
+	for _, n := range names {
+		if _, err := bw.WriteString("," + n); err != nil {
+			return err
+		}
+	}
+	if err := bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	maxLen := 0
+	for _, s := range series {
+		if len(s) > maxLen {
+			maxLen = len(s)
+		}
+	}
+	for i := 0; i < maxLen; i++ {
+		if _, err := bw.WriteString(strconv.Itoa(i)); err != nil {
+			return err
+		}
+		for _, s := range series {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+			if i < len(s) {
+				if _, err := bw.WriteString(strconv.FormatFloat(s[i], 'g', 10, 64)); err != nil {
+					return err
+				}
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

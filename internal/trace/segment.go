@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"fmt"
+)
+
+// FindPeaks returns the indices of local maxima exceeding threshold, with
+// at least minDistance samples between accepted peaks (the larger peak
+// wins in a conflict). This is how the attacker locates the start of each
+// coefficient's sampling (the paper's visible distribution-call peaks,
+// Fig. 3a).
+func FindPeaks(t Trace, threshold float64, minDistance int) []int {
+	if minDistance < 1 {
+		minDistance = 1
+	}
+	var peaks []int
+	for i := 1; i < len(t)-1; i++ {
+		if t[i] < threshold {
+			continue
+		}
+		if t[i] < t[i-1] || t[i] < t[i+1] {
+			continue
+		}
+		// Plateau handling: only take the first sample of a plateau.
+		if t[i] == t[i-1] {
+			continue
+		}
+		if len(peaks) > 0 && i-peaks[len(peaks)-1] < minDistance {
+			// Keep the taller of the two.
+			if t[i] > t[peaks[len(peaks)-1]] {
+				peaks[len(peaks)-1] = i
+			}
+			continue
+		}
+		peaks = append(peaks, i)
+	}
+	return peaks
+}
+
+// AutoThreshold picks a peak threshold between the trace's bulk level and
+// its maximum: mean + frac·(max − mean). frac = 0.5 works well for the
+// port-spike peaks the synthesizer produces.
+func AutoThreshold(t Trace, frac float64) float64 {
+	return t.Mean() + frac*(t.Max()-t.Mean())
+}
+
+// Segment is one per-coefficient sub-trace with its boundaries in the full
+// trace.
+type Segment struct {
+	Start, End int // sample range [Start, End)
+	Samples    Trace
+}
+
+// SegmentByPeaks cuts the trace at each peak index: segment k covers
+// [peak_k, peak_{k+1}) and the last segment runs to the end of the trace.
+// It returns an error when fewer than one peak was found.
+func SegmentByPeaks(t Trace, peaks []int) ([]Segment, error) {
+	if len(peaks) == 0 {
+		return nil, fmt.Errorf("trace: no peaks to segment by")
+	}
+	segs := make([]Segment, 0, len(peaks))
+	for k, p := range peaks {
+		end := len(t)
+		if k+1 < len(peaks) {
+			end = peaks[k+1]
+		}
+		if p >= end {
+			return nil, fmt.Errorf("trace: invalid peak ordering at %d", k)
+		}
+		segs = append(segs, Segment{Start: p, End: end, Samples: t[p:end].Clone()})
+	}
+	return segs, nil
+}
+
+// SegmentEncryptionTrace performs the full §III-C procedure: find the
+// sampler-port peaks and cut the trace into exactly want sub-traces (one
+// per coefficient). It returns an error when the count does not match,
+// which signals mis-calibration of the threshold.
+func SegmentEncryptionTrace(t Trace, want int, minDistance int) ([]Segment, error) {
+	thr := AutoThreshold(t, 0.5)
+	peaks := FindPeaks(t, thr, minDistance)
+	if len(peaks) != want {
+		return nil, fmt.Errorf("trace: found %d sampling peaks, want %d (threshold %.3f)",
+			len(peaks), want, thr)
+	}
+	return SegmentByPeaks(t, peaks)
+}
+
+// NormalizeSegments resamples every segment to the same length (the median
+// length), producing the aligned matrix the template attack operates on.
+func NormalizeSegments(segs []Segment, length int) []Trace {
+	out := make([]Trace, len(segs))
+	for i, s := range segs {
+		out[i] = s.Samples.Resample(length)
+	}
+	return out
+}
+
+// MedianLength returns the median segment length (0 for empty input).
+func MedianLength(segs []Segment) int {
+	if len(segs) == 0 {
+		return 0
+	}
+	lengths := make([]int, len(segs))
+	for i, s := range segs {
+		lengths[i] = len(s.Samples)
+	}
+	// Insertion sort: segment counts are small (≤ 32768).
+	for i := 1; i < len(lengths); i++ {
+		for j := i; j > 0 && lengths[j] < lengths[j-1]; j-- {
+			lengths[j], lengths[j-1] = lengths[j-1], lengths[j]
+		}
+	}
+	return lengths[len(lengths)/2]
+}

@@ -1,0 +1,170 @@
+// Package trace provides the oscilloscope-side abstractions of the
+// reproduction: trace containers, peak detection and segmentation of a full
+// encryption trace into per-coefficient sub-traces (the paper's §III-C),
+// resampling for template alignment, and binary/CSV persistence.
+package trace
+
+import (
+	"fmt"
+	"math"
+)
+
+// Trace is a single power measurement: one float64 sample per cycle.
+type Trace []float64
+
+// Clone returns a copy of the trace.
+func (t Trace) Clone() Trace {
+	out := make(Trace, len(t))
+	copy(out, t)
+	return out
+}
+
+// Max returns the maximum sample value (or -Inf for an empty trace).
+func (t Trace) Max() float64 {
+	max := math.Inf(-1)
+	for _, v := range t {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Mean returns the average sample value (0 for an empty trace).
+func (t Trace) Mean() float64 {
+	if len(t) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range t {
+		sum += v
+	}
+	return sum / float64(len(t))
+}
+
+// Std returns the sample standard deviation (0 for fewer than 2 samples).
+func (t Trace) Std() float64 {
+	if len(t) < 2 {
+		return 0
+	}
+	m := t.Mean()
+	sum := 0.0
+	for _, v := range t {
+		sum += (v - m) * (v - m)
+	}
+	return math.Sqrt(sum / float64(len(t)-1))
+}
+
+// Resample stretches or compresses the trace to exactly n samples using
+// linear interpolation; used to align time-variant sub-traces before
+// template matching.
+func (t Trace) Resample(n int) Trace {
+	if n <= 0 {
+		return Trace{}
+	}
+	if len(t) == 0 {
+		return make(Trace, n)
+	}
+	if len(t) == 1 {
+		out := make(Trace, n)
+		for i := range out {
+			out[i] = t[0]
+		}
+		return out
+	}
+	out := make(Trace, n)
+	scale := float64(len(t)-1) / float64(n-1)
+	if n == 1 {
+		out[0] = t[0]
+		return out
+	}
+	for i := 0; i < n; i++ {
+		pos := float64(i) * scale
+		lo := int(pos)
+		if lo >= len(t)-1 {
+			out[i] = t[len(t)-1]
+			continue
+		}
+		frac := pos - float64(lo)
+		out[i] = t[lo]*(1-frac) + t[lo+1]*frac
+	}
+	return out
+}
+
+// LowPass applies a simple moving-average filter of the given window,
+// approximating the band-limiting of a real acquisition chain.
+func (t Trace) LowPass(window int) Trace {
+	if window <= 1 || len(t) == 0 {
+		return t.Clone()
+	}
+	out := make(Trace, len(t))
+	sum := 0.0
+	for i, v := range t {
+		sum += v
+		if i >= window {
+			sum -= t[i-window]
+		}
+		n := window
+		if i < window {
+			n = i + 1
+		}
+		out[i] = sum / float64(n)
+	}
+	return out
+}
+
+// Set is a labeled collection of equally-long traces, the unit the template
+// builder consumes.
+type Set struct {
+	Traces []Trace
+	Labels []int
+}
+
+// Append adds a trace with its label.
+func (s *Set) Append(t Trace, label int) {
+	s.Traces = append(s.Traces, t)
+	s.Labels = append(s.Labels, label)
+}
+
+// Len returns the number of traces.
+func (s *Set) Len() int { return len(s.Traces) }
+
+// Validate checks labels/traces alignment and equal lengths.
+func (s *Set) Validate() error {
+	if len(s.Traces) != len(s.Labels) {
+		return fmt.Errorf("trace: %d traces but %d labels", len(s.Traces), len(s.Labels))
+	}
+	if len(s.Traces) == 0 {
+		return nil
+	}
+	n := len(s.Traces[0])
+	for i, t := range s.Traces {
+		if len(t) != n {
+			return fmt.Errorf("trace: trace %d has %d samples, want %d", i, len(t), n)
+		}
+	}
+	return nil
+}
+
+// ByLabel groups trace indices by label.
+func (s *Set) ByLabel() map[int][]int {
+	out := map[int][]int{}
+	for i, l := range s.Labels {
+		out[l] = append(out[l], i)
+	}
+	return out
+}
+
+// Decimate keeps every k-th sample, modeling a slower acquisition rate
+// than one sample per cycle (the paper's scope oversamples at 1 GS/s for a
+// 1.5 MHz clock; other setups undersample). k must be ≥ 1.
+func (t Trace) Decimate(k int) Trace {
+	if k <= 1 {
+		return t.Clone()
+	}
+	out := make(Trace, 0, (len(t)+k-1)/k)
+	for i := 0; i < len(t); i += k {
+		out = append(out, t[i])
+	}
+	return out
+}
