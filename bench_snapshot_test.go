@@ -1,0 +1,103 @@
+// Benchmark snapshots: key benchmarks persist their results as
+// BENCH_<name>.json files so runs can be diffed across commits without
+// re-parsing `go test -bench` output. Each snapshot carries ns/op, the
+// benchmark's headline metrics, and the per-stage breakdown collected by a
+// recorder installed for the duration of the benchmark.
+//
+// The output directory defaults to bench_snapshots/ and can be moved with
+// BENCH_SNAPSHOT_DIR. Plain `go test` runs no benchmarks and writes nothing.
+package reveal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"reveal/internal/obs"
+)
+
+type benchSnapshot struct {
+	Name           string             `json:"name"`
+	Iterations     int                `json:"iterations"`
+	NsPerOp        float64            `json:"ns_per_op"`
+	ItemsPerSecond float64            `json:"items_per_second,omitempty"`
+	Metrics        map[string]float64 `json:"metrics,omitempty"`
+	Stages         []obs.StageStats   `json:"stages,omitempty"`
+}
+
+// benchRun captures one benchmark's stage activity and metrics, and writes
+// the snapshot file when the benchmark finishes.
+type benchRun struct {
+	b       *testing.B
+	rec     *obs.Recorder
+	prev    *obs.Recorder
+	metrics map[string]float64
+}
+
+// snapshotBench installs a fresh metrics recorder for the calling benchmark
+// and schedules the BENCH_<name>.json write at cleanup. The previous global
+// recorder (normally nil) is restored afterwards, so instrumented and
+// uninstrumented benchmarks can coexist in one run.
+func snapshotBench(b *testing.B) *benchRun {
+	b.Helper()
+	br := &benchRun{
+		b:       b,
+		rec:     obs.New(obs.Options{}),
+		prev:    obs.Global(),
+		metrics: map[string]float64{},
+	}
+	obs.SetGlobal(br.rec)
+	b.Cleanup(br.finish)
+	return br
+}
+
+// Metric reports v through the normal benchmark output and records it into
+// the snapshot.
+func (br *benchRun) Metric(v float64, name string) {
+	br.b.ReportMetric(v, name)
+	br.metrics[name] = v
+}
+
+func (br *benchRun) finish() {
+	obs.SetGlobal(br.prev)
+	if br.b.Failed() || br.b.N == 0 {
+		return
+	}
+	snap := benchSnapshot{
+		Name:       strings.TrimPrefix(br.b.Name(), "Benchmark"),
+		Iterations: br.b.N,
+		NsPerOp:    float64(br.b.Elapsed().Nanoseconds()) / float64(br.b.N),
+		Metrics:    br.metrics,
+		Stages:     br.rec.StageStats(),
+	}
+	var items int64
+	for _, st := range snap.Stages {
+		items += st.Items
+	}
+	if secs := br.b.Elapsed().Seconds(); items > 0 && secs > 0 {
+		snap.ItemsPerSecond = float64(items) / secs
+	}
+	if err := writeBenchSnapshot(snap); err != nil {
+		br.b.Logf("bench snapshot: %v", err)
+	}
+}
+
+func writeBenchSnapshot(snap benchSnapshot) error {
+	dir := os.Getenv("BENCH_SNAPSHOT_DIR")
+	if dir == "" {
+		dir = "bench_snapshots"
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := strings.ReplaceAll(snap.Name, "/", "_")
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", name))
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -68,6 +68,7 @@ func getLowNoiseSession(b *testing.B) *experiments.Session {
 // attack per iteration, reporting sign/zero/overall accuracy.
 func BenchmarkTable1TemplateAttack(b *testing.B) {
 	s := getDefaultSession(b)
+	br := snapshotBench(b)
 	b.ResetTimer()
 	var last *experiments.Table1Result
 	for i := 0; i < b.N; i++ {
@@ -77,9 +78,9 @@ func BenchmarkTable1TemplateAttack(b *testing.B) {
 		}
 		last = r
 	}
-	b.ReportMetric(100*last.SignAccuracy, "sign-acc-%")
-	b.ReportMetric(100*last.ZeroAccuracy, "zero-acc-%")
-	b.ReportMetric(100*last.Confusion.OverallAccuracy(), "value-acc-%")
+	br.Metric(100*last.SignAccuracy, "sign-acc-%")
+	br.Metric(100*last.ZeroAccuracy, "zero-acc-%")
+	br.Metric(100*last.Confusion.OverallAccuracy(), "value-acc-%")
 }
 
 // BenchmarkTable2HintProbabilities regenerates Table II: probability rows
@@ -114,6 +115,7 @@ func BenchmarkTable3FullHints(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	br := snapshotBench(b)
 	b.ResetTimer()
 	var r *experiments.Table3Result
 	for i := 0; i < b.N; i++ {
@@ -122,9 +124,9 @@ func BenchmarkTable3FullHints(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(r.WithoutHintsBikz, "bikz-no-hints")
-	b.ReportMetric(r.WithHintsBikz, "bikz-with-hints")
-	b.ReportMetric(r.WithHintsBits, "bits-with-hints")
+	br.Metric(r.WithoutHintsBikz, "bikz-no-hints")
+	br.Metric(r.WithHintsBikz, "bikz-with-hints")
+	br.Metric(r.WithHintsBits, "bits-with-hints")
 }
 
 // BenchmarkTable4SignOnlyHints regenerates Table IV: the branch-only
@@ -168,6 +170,7 @@ func BenchmarkFig3SegmentTrace(b *testing.B) {
 // the plaintext.
 func BenchmarkEndToEndAttack(b *testing.B) {
 	s := getLowNoiseSession(b)
+	br := snapshotBench(b)
 	recovered := 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -189,7 +192,7 @@ func BenchmarkEndToEndAttack(b *testing.B) {
 			recovered++
 		}
 	}
-	b.ReportMetric(100*float64(recovered)/float64(b.N), "recovery-%")
+	br.Metric(100*float64(recovered)/float64(b.N), "recovery-%")
 }
 
 // BenchmarkAblationV2Only quantifies the paper's V3 claim: negative
@@ -411,6 +414,7 @@ func BenchmarkBFVEncrypt(b *testing.B) {
 // BenchmarkDeviceCapture measures the ISS + power synthesis throughput for
 // a full 1024-coefficient sampling run.
 func BenchmarkDeviceCapture(b *testing.B) {
+	br := snapshotBench(b)
 	dev := core.NewDevice(51)
 	src, err := core.FirmwareSource(1024, bfv.PaperQ)
 	if err != nil {
@@ -430,11 +434,12 @@ func BenchmarkDeviceCapture(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(float64(len(tr)), "samples")
+	br.Metric(float64(len(tr)), "samples")
 }
 
 // BenchmarkDBDDFullPipeline measures the estimator cost at paper scale.
 func BenchmarkDBDDFullPipeline(b *testing.B) {
+	snapshotBench(b)
 	for i := 0; i < b.N; i++ {
 		in, err := dbdd.NewLWEInstance(1024, 1024, 132120577, 2.0/3.0, 3.2*3.2)
 		if err != nil {
@@ -486,6 +491,7 @@ func BenchmarkTVLA(b *testing.B) {
 // BenchmarkSecuritySweep estimates the attack across every SEAL default
 // degree (the paper's "applicable to all security levels" claim).
 func BenchmarkSecuritySweep(b *testing.B) {
+	br := snapshotBench(b)
 	var rows []experiments.SweepRow
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -494,8 +500,8 @@ func BenchmarkSecuritySweep(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(rows[0].FullHintsBikz, "n1024-full-bikz")
-	b.ReportMetric(rows[len(rows)-1].FullHintsBikz, "n32768-full-bikz")
+	br.Metric(rows[0].FullHintsBikz, "n1024-full-bikz")
+	br.Metric(rows[len(rows)-1].FullHintsBikz, "n32768-full-bikz")
 }
 
 // BenchmarkDecryptionCPA runs the multi-trace decryption-side key recovery

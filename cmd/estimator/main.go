@@ -17,6 +17,7 @@ import (
 
 	"reveal/internal/dbdd"
 	"reveal/internal/experiments"
+	"reveal/internal/obs"
 	"reveal/internal/sampler"
 )
 
@@ -28,7 +29,28 @@ func main() {
 	hints := flag.String("hints", "none", "hint model: none, sign, full")
 	seed := flag.Uint64("seed", 1, "seed for the simulated error vector")
 	sweep := flag.Bool("sweep", false, "estimate the attack across all SEAL default degrees")
+	runDir := flag.String("run-dir", "", "write manifest.json, metrics.txt and run.log into this directory")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
+
+	if *runDir != "" {
+		run, err := obs.StartRun(*runDir, obs.RunOptions{
+			Tool: "estimator", Args: os.Args[1:], Seed: *seed,
+			Config: map[string]any{
+				"table": *table, "n": *n, "q": *q, "sigma": *sigma,
+				"hints": *hints, "sweep": *sweep,
+			},
+			LogLevel: obs.ParseLevel(*logLevel),
+		})
+		if err != nil {
+			fail(err)
+		}
+		defer func() {
+			if err := run.Finish(); err != nil {
+				fmt.Fprintln(os.Stderr, "estimator: finishing run:", err)
+			}
+		}()
+	}
 
 	if *sweep {
 		rows, err := experiments.RunSecuritySweep([]int{1024, 2048, 4096, 8192, 16384, 32768}, *seed)

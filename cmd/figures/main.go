@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"reveal/internal/experiments"
+	"reveal/internal/obs"
 	"reveal/internal/trace"
 )
 
@@ -21,7 +22,14 @@ func main() {
 	fig := flag.String("fig", "3a", "which figure to emit: 3a, 3b, or timing")
 	out := flag.String("o", "", "output file (default stdout)")
 	seed := flag.Uint64("seed", 77, "capture seed")
+	logLevel := flag.String("log-level", "", "enable structured logging and stage timing (debug, info, warn, error)")
 	flag.Parse()
+
+	if *logLevel != "" {
+		obs.SetGlobal(obs.New(obs.Options{Logger: obs.NewLogger(obs.LogOptions{
+			Level: obs.ParseLevel(*logLevel), Output: os.Stderr,
+		})}))
+	}
 
 	r, err := experiments.RunFig3(*seed)
 	if err != nil {

@@ -4,9 +4,20 @@
 //
 // Usage:
 //
-//	revealctl table1 [-profile N] [-encryptions N] [-seed S]
-//	revealctl table2 [-seed S]
+//	revealctl table1 [-profile N] [-encryptions N] [-seed S] [-json]
+//	revealctl table2 [-seed S] [-json]
 //	revealctl attack [-seed S] [-messages N]
+//	revealctl profile [-o FILE] [-seed S]
+//
+// Every subcommand accepts the observability flags:
+//
+//	-run-dir DIR       archive the campaign as a reproducible artifact:
+//	                   DIR/manifest.json (config, seed, git describe,
+//	                   per-stage durations and throughput, results),
+//	                   DIR/metrics.txt (Prometheus text) and DIR/run.log
+//	-metrics-addr ADDR serve live /metrics, /progress and /debug/pprof
+//	-log-level LEVEL   debug|info|warn|error structured logging to stderr
+//	-log-json          JSON log records
 package main
 
 import (
@@ -50,7 +61,13 @@ commands:
   table1   reproduce Table I (template-attack confusion matrix)
   table2   reproduce Table II (per-measurement guessing probabilities)
   attack   end-to-end single-trace attack with full message recovery
-  profile  run the profiling campaign and save the trained classifier`)
+  profile  run the profiling campaign and save the trained classifier
+
+observability (all commands):
+  -run-dir DIR        write manifest.json, metrics.txt, run.log
+  -metrics-addr ADDR  live /metrics, /progress, /debug/pprof
+  -log-level LEVEL    debug|info|warn|error
+  -log-json           JSON log records`)
 }
 
 func runTable1(args []string) error {
@@ -58,19 +75,39 @@ func runTable1(args []string) error {
 	profile := fs.Int("profile", 40, "profiling traces per coefficient value")
 	encryptions := fs.Int("encryptions", 3, "number of single-trace attacks (each covers 2048 coefficients)")
 	seed := fs.Uint64("seed", 1, "experiment seed")
+	jsonOut := fs.Bool("json", false, "print the result as JSON instead of the table layout")
+	ofl := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cfg := experiments.Config{Seed: *seed, ProfileTracesPerValue: *profile, AttackEncryptions: *encryptions}
-	fmt.Printf("profiling device (%d traces per value, 29 values)...\n", *profile)
+	camp, err := ofl.start("table1", args, *seed, cfg)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := camp.finish(); err != nil {
+			fmt.Fprintln(os.Stderr, "revealctl: finishing run:", err)
+		}
+	}()
+	if !*jsonOut {
+		fmt.Printf("profiling device (%d traces per value, 29 values)...\n", *profile)
+	}
 	s, err := experiments.NewSession(cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("attacking %d encryptions...\n", *encryptions)
+	if !*jsonOut {
+		fmt.Printf("attacking %d encryptions...\n", *encryptions)
+	}
 	res, err := s.RunTable1()
 	if err != nil {
 		return err
+	}
+	report := res.Report()
+	camp.setResult("table1", report)
+	if *jsonOut {
+		return experiments.WriteJSON(os.Stdout, report)
 	}
 	fmt.Println(experiments.FormatTable1(res, -7, 7))
 	return nil
@@ -79,6 +116,8 @@ func runTable1(args []string) error {
 func runTable2(args []string) error {
 	fs := flag.NewFlagSet("table2", flag.ExitOnError)
 	seed := fs.Uint64("seed", 1, "experiment seed")
+	jsonOut := fs.Bool("json", false, "print the result as JSON instead of the table layout")
+	ofl := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -86,7 +125,18 @@ func runTable2(args []string) error {
 	cfg.Seed = *seed
 	cfg.LowNoise = true // Table II shows the paper's near-certain posteriors
 	cfg.AttackEncryptions = 1
-	fmt.Println("profiling low-noise device...")
+	camp, err := ofl.start("table2", args, *seed, cfg)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := camp.finish(); err != nil {
+			fmt.Fprintln(os.Stderr, "revealctl: finishing run:", err)
+		}
+	}()
+	if !*jsonOut {
+		fmt.Println("profiling low-noise device...")
+	}
 	s, err := experiments.NewSession(cfg)
 	if err != nil {
 		return err
@@ -99,6 +149,11 @@ func runTable2(args []string) error {
 	if err != nil {
 		return err
 	}
+	report := experiments.ReportTable2(rows)
+	camp.setResult("table2", report)
+	if *jsonOut {
+		return experiments.WriteJSON(os.Stdout, report)
+	}
 	fmt.Println(experiments.FormatTable2(rows))
 	return nil
 }
@@ -108,12 +163,22 @@ func runAttack(args []string) error {
 	seed := fs.Uint64("seed", 1, "experiment seed")
 	messages := fs.Int("messages", 2, "number of messages to encrypt and recover")
 	profilePath := fs.String("profile", "", "load a classifier saved by 'revealctl profile' instead of re-profiling")
+	ofl := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cfg := experiments.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.LowNoise = true
+	camp, err := ofl.start("attack", args, *seed, cfg)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := camp.finish(); err != nil {
+			fmt.Fprintln(os.Stderr, "revealctl: finishing run:", err)
+		}
+	}()
 	fmt.Println("profiling low-noise device for full recovery...")
 	s, err := experiments.NewSession(cfg)
 	if err != nil {
@@ -132,6 +197,9 @@ func runAttack(args []string) error {
 		s.Classifier = cls
 		fmt.Printf("loaded classifier from %s\n", *profilePath)
 	}
+	recovered := 0
+	var sumVAcc, sumSAcc float64
+	var lastOutcome *core.AttackOutcome
 	for msg := 0; msg < *messages; msg++ {
 		pt := s.Params.NewPlaintext()
 		for i := range pt.Coeffs {
@@ -145,10 +213,13 @@ func runAttack(args []string) error {
 		if err != nil {
 			return err
 		}
+		lastOutcome = out
 		vAcc, sAcc, err := out.E2.Accuracy(cap.Truth.E2)
 		if err != nil {
 			return err
 		}
+		sumVAcc += vAcc
+		sumSAcc += sAcc
 		fmt.Printf("message %d: single-trace classification: value %.2f%%, sign %.2f%%\n",
 			msg, 100*vAcc, 100*sAcc)
 		got, _, trials, err := core.RepairAndRecover(s.Params, s.PublicKey, cap.Ciphertext, out.E2, 16, 100000)
@@ -163,8 +234,32 @@ func runAttack(args []string) error {
 				break
 			}
 		}
+		if ok {
+			recovered++
+		}
 		fmt.Printf("message %d: plaintext recovered from ONE power trace: %v (%d verification trials)\n",
 			msg, ok, trials)
+	}
+	if *messages > 0 {
+		camp.setResult("messages", *messages)
+		camp.setResult("messages_recovered", recovered)
+		camp.setResult("mean_value_accuracy", sumVAcc/float64(*messages))
+		camp.setResult("mean_sign_accuracy", sumSAcc/float64(*messages))
+	}
+	// The security-loss summary (Table III for this attack's hints) is
+	// computed only when the run is being archived: the DBDD estimate is
+	// not part of the recovery demo itself.
+	if ofl.runDir != "" && lastOutcome != nil {
+		loss, err := core.EstimateFullHints(s.Params, lastOutcome.E2)
+		if err != nil {
+			return fmt.Errorf("estimating hinted security: %w", err)
+		}
+		camp.setResult("bikz_baseline", loss.BaselineBikz)
+		camp.setResult("bikz_with_hints", loss.HintedBikz)
+		camp.setResult("bits_baseline", loss.BaselineBits)
+		camp.setResult("bits_with_hints", loss.HintedBits)
+		fmt.Printf("security with hints: %.2f bikz (%.1f bits), baseline %.2f bikz\n",
+			loss.HintedBikz, loss.HintedBits, loss.BaselineBikz)
 	}
 	return nil
 }
@@ -175,6 +270,7 @@ func runProfile(args []string) error {
 	seed := fs.Uint64("seed", 1, "device seed")
 	lowNoise := fs.Bool("lownoise", true, "use the low-noise measurement setup")
 	traces := fs.Int("traces", 0, "profiling traces per coefficient value (0 = preset default)")
+	ofl := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -190,6 +286,15 @@ func runProfile(args []string) error {
 	if *traces > 0 {
 		opts.TracesPerValue = *traces
 	}
+	camp, err := ofl.start("profile", args, *seed, opts)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := camp.finish(); err != nil {
+			fmt.Fprintln(os.Stderr, "revealctl: finishing run:", err)
+		}
+	}()
 	fmt.Printf("profiling (%d traces per value)...\n", opts.TracesPerValue)
 	cls, err := core.Profile(dev, opts)
 	if err != nil {
@@ -203,6 +308,8 @@ func runProfile(args []string) error {
 	if err := core.WriteClassifier(f, cls); err != nil {
 		return err
 	}
+	camp.setResult("classifier_path", *out)
+	camp.setResult("subtrace_length", cls.Length)
 	fmt.Printf("classifier written to %s (sub-trace length %d)\n", *out, cls.Length)
 	return nil
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"reveal/internal/obs"
 	"reveal/internal/power"
 	"reveal/internal/rv32"
 	"reveal/internal/sampler"
@@ -27,7 +28,14 @@ func main() {
 	maxInstrs := flag.Int("max", 1000000, "instruction budget")
 	memSize := flag.Int("mem", 1<<17, "RAM size in bytes")
 	seed := flag.Uint64("seed", 1, "measurement-noise seed for the power trace")
+	logLevel := flag.String("log-level", "", "enable structured logging of the run (debug, info, warn, error)")
 	flag.Parse()
+
+	if *logLevel != "" {
+		obs.SetGlobal(obs.New(obs.Options{Logger: obs.NewLogger(obs.LogOptions{
+			Level: obs.ParseLevel(*logLevel), Output: os.Stderr,
+		})}))
+	}
 
 	if err := run(*src, *disasm, *traceOut, *maxInstrs, *memSize, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "rvsim:", err)
@@ -71,11 +79,16 @@ func run(srcPath string, disasm bool, traceOut string, maxInstrs, memSize int, s
 		cpu.OnEvent = syn.HandleEvent
 	}
 
+	sp := obs.StartSpan("simulate")
 	executed, err := cpu.Run(maxInstrs)
+	sp.AddItems(executed)
+	simTime := sp.End()
 	if err != nil {
 		return err
 	}
 	fmt.Printf("halted after %d instructions, %d cycles\n", executed, cpu.Cycle)
+	obs.Log().Info("simulation done", "instructions", executed,
+		"cycles", cpu.Cycle, "duration", simTime)
 
 	abi := []string{"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
 		"s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",

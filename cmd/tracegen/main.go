@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"reveal/internal/core"
+	"reveal/internal/obs"
 	"reveal/internal/sampler"
 	"reveal/internal/trace"
 )
@@ -25,11 +26,31 @@ func main() {
 	seed := flag.Uint64("seed", 1, "device + sampler seed")
 	length := flag.Int("len", 40, "sub-trace length (tail-aligned samples)")
 	lowNoise := flag.Bool("lownoise", false, "use the low-noise device profile")
+	logLevel := flag.String("log-level", "", "enable structured logging and stage timing (debug, info, warn, error)")
 	flag.Parse()
+
+	if *logLevel != "" {
+		obs.SetGlobal(obs.New(obs.Options{Logger: obs.NewLogger(obs.LogOptions{
+			Level: obs.ParseLevel(*logLevel), Output: os.Stderr,
+		})}))
+		defer logStageSummary()
+	}
 
 	if err := run(*out, *count, *q, *seed, *length, *lowNoise); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
+	}
+}
+
+// logStageSummary reports the per-stage timing aggregates at exit when
+// -log-level enabled the recorder.
+func logStageSummary() {
+	rec := obs.Global()
+	for _, st := range rec.StageStats() {
+		rec.Logger().Info("stage summary", "stage", st.Name,
+			"runs", st.Runs, "items", st.Items,
+			"total_seconds", st.TotalSeconds, "p95_seconds", st.P95Seconds,
+			"items_per_second", st.ItemsPerSecond)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"reveal/internal/bfv"
+	"reveal/internal/obs"
 	"reveal/internal/sampler"
 	"reveal/internal/trace"
 )
@@ -26,6 +27,9 @@ type EncryptionCapture struct {
 // "single power measurement" of the paper (one trace per error polynomial,
 // captured within the same encryption).
 func CaptureEncryption(dev *Device, params *bfv.Parameters, enc *bfv.Encryptor, pt *bfv.Plaintext) (*EncryptionCapture, error) {
+	sp := obs.StartSpan("capture_encryption")
+	sp.AddItems(2) // two sampling traces per encryption (e1, e2)
+	defer sp.End()
 	ct, tr, err := enc.EncryptWithTranscript(pt)
 	if err != nil {
 		return nil, err
@@ -69,6 +73,9 @@ type AttackOutcome struct {
 // captured encryption (each trace contains n real coefficients plus the
 // sentinel iteration, which is discarded).
 func (c *CoefficientClassifier) Attack(cap *EncryptionCapture, n int) (*AttackOutcome, error) {
+	sp := obs.StartSpan("attack")
+	sp.AddItems(2 * n)
+	defer sp.End()
 	attackOne := func(tr trace.Trace) (*AttackResult, error) {
 		segs, err := trace.SegmentEncryptionTrace(tr, n+1, 8)
 		if err != nil {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"reveal/internal/obs"
 	"reveal/internal/sca"
 	"reveal/internal/trace"
 )
@@ -121,6 +122,9 @@ type AttackResult struct {
 // AttackSegments classifies every per-coefficient segment of an already
 // segmented encryption trace.
 func (c *CoefficientClassifier) AttackSegments(segs []trace.Segment) (*AttackResult, error) {
+	sp := obs.StartSpan("classify")
+	sp.AddItems(len(segs))
+	defer sp.End()
 	res := &AttackResult{
 		Values: make([]int, len(segs)),
 		Signs:  make([]int, len(segs)),

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"reveal/internal/obs"
 	"reveal/internal/power"
 	"reveal/internal/rv32"
 	"reveal/internal/sampler"
@@ -94,6 +95,9 @@ func NewLowNoiseDevice(seed uint64) *Device {
 // Capture runs the given firmware with the given queued noise values and
 // returns the power trace. Each call uses fresh measurement noise.
 func (d *Device) Capture(firmware []byte, values []int64, metas []sampler.SampleMeta) (trace.Trace, error) {
+	sp := obs.StartSpan("capture")
+	sp.AddItems(len(values))
+	defer sp.End()
 	return d.captureWithSetup(firmware, values, metas, nil)
 }
 

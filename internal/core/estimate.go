@@ -5,6 +5,7 @@ import (
 
 	"reveal/internal/bfv"
 	"reveal/internal/dbdd"
+	"reveal/internal/obs"
 )
 
 // LWEInstanceForParams builds the DBDD instance of the c1 = p1·u + e2
@@ -35,6 +36,9 @@ func EstimateFullHints(params *bfv.Parameters, res *AttackResult) (*dbdd.Securit
 		return nil, fmt.Errorf("core: attack covered %d coefficients, want %d", len(res.Probs), params.N)
 	}
 	return dbdd.CompareWithHints(baseline, func(in *dbdd.Instance) error {
+		sp := obs.StartSpan("hints")
+		sp.AddItems(len(res.Probs))
+		defer sp.End()
 		for i, probs := range res.Probs {
 			h := dbdd.HintFromProbabilities(probs)
 			if err := in.IntegrateCoefficientHint(errorCoord(params, i), h); err != nil {
@@ -56,6 +60,9 @@ func EstimateSignOnly(params *bfv.Parameters, res *AttackResult) (*dbdd.Security
 		return nil, fmt.Errorf("core: attack covered %d coefficients, want %d", len(res.Signs), params.N)
 	}
 	return dbdd.CompareWithHints(baseline, func(in *dbdd.Instance) error {
+		sp := obs.StartSpan("hints")
+		sp.AddItems(len(res.Signs))
+		defer sp.End()
 		for i, s := range res.Signs {
 			if err := in.SignHint(errorCoord(params, i), s); err != nil {
 				return err

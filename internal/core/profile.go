@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"reveal/internal/obs"
 	"reveal/internal/sampler"
 	"reveal/internal/sca"
 	"reveal/internal/trace"
@@ -60,6 +61,8 @@ func HighAccuracyProfileOptions() ProfileOptions {
 // value, captures traces, segments them, and trains the sign and per-sign
 // value templates.
 func Profile(dev *Device, opts ProfileOptions) (*CoefficientClassifier, error) {
+	sp := obs.StartSpan("profile")
+	defer sp.End()
 	if opts.MaxAbsValue < 1 {
 		return nil, fmt.Errorf("core: MaxAbsValue must be >= 1")
 	}
@@ -110,6 +113,11 @@ func Profile(dev *Device, opts ProfileOptions) (*CoefficientClassifier, error) {
 		return int(sampler.Uint64Below(metaPRNG, uint64(2*opts.MaxAbsValue+1))) - opts.MaxAbsValue
 	}
 
+	obs.Log().Info("profiling campaign started",
+		"values", 2*opts.MaxAbsValue+1, "traces_per_value", opts.TracesPerValue,
+		"coeffs_per_run", opts.CoeffsPerRun)
+	target := remaining
+	lastLogged := remaining
 	var rawSegs []trace.Segment
 	var labels []int
 	for remaining > 0 {
@@ -140,7 +148,15 @@ func Profile(dev *Device, opts ProfileOptions) (*CoefficientClassifier, error) {
 				remaining--
 			}
 		}
+		// Progress heartbeat roughly every 10% of the campaign.
+		if lastLogged-remaining >= (target+9)/10 {
+			lastLogged = remaining
+			obs.Log().Debug("profiling progress",
+				"collected", target-remaining, "target", target,
+				"segments", len(rawSegs))
+		}
 	}
+	sp.AddItems(len(rawSegs))
 
 	// Tail alignment: the fixed-length part of each iteration sits at the
 	// end of the segment (the port read at the start is time-variant), so

@@ -11,6 +11,8 @@ package dbdd
 import (
 	"fmt"
 	"math"
+
+	"reveal/internal/obs"
 )
 
 // BitsPerBikz converts block size to bits of security: the paper (and
@@ -199,6 +201,8 @@ func (in *Instance) successMargin(beta float64) float64 {
 // instance, with linear interpolation to a fractional value (the paper's
 // "bikz"). The minimum reported hardness is 2 (LLL).
 func (in *Instance) EstimateBikz() (float64, error) {
+	sp := obs.StartSpan("dbdd")
+	defer sp.End()
 	d := in.dim
 	if d < 3 {
 		return 2, nil

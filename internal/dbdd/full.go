@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"reveal/internal/linalg"
+	"reveal/internal/obs"
 )
 
 // FullInstance is the full-covariance DBDD variant: unlike Instance (which
@@ -187,6 +188,8 @@ func (in *FullInstance) normalizedLogVol() (float64, error) {
 // EstimateBikz estimates the required BKZ block size, identically to the
 // diagonal instance but with the dense covariance determinant.
 func (in *FullInstance) EstimateBikz() (float64, error) {
+	sp := obs.StartSpan("dbdd")
+	defer sp.End()
 	d := in.dim
 	if d < 3 {
 		return 2, nil

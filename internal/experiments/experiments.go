@@ -9,10 +9,12 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"reveal/internal/bfv"
 	"reveal/internal/core"
 	"reveal/internal/dbdd"
+	"reveal/internal/obs"
 	"reveal/internal/sampler"
 	"reveal/internal/sca"
 	"reveal/internal/trace"
@@ -66,10 +68,16 @@ func NewSession(cfg Config) (*Session, error) {
 	if cfg.ProfileTracesPerValue > 0 {
 		popts.TracesPerValue = cfg.ProfileTracesPerValue
 	}
+	obs.Log().Info("session setup",
+		"seed", cfg.Seed, "low_noise", cfg.LowNoise,
+		"profile_traces_per_value", popts.TracesPerValue)
+	profStart := time.Now()
 	cls, err := core.Profile(dev, popts)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: profiling: %w", err)
 	}
+	obs.Log().Info("profiling done",
+		"duration", time.Since(profStart), "subtrace_length", cls.Length)
 	params := bfv.PaperParameters()
 	prng := sampler.NewXoshiro256(cfg.Seed ^ 0xABCD)
 	kg := bfv.NewKeyGenerator(params, prng)
@@ -133,6 +141,9 @@ func (s *Session) RunTable1() (*Table1Result, error) {
 		score(out.E2, cap.Truth.E2)
 		res.LastOutcome = out
 		res.LastCapture = cap
+		obs.Log().Debug("attack encryption done",
+			"run", run+1, "of", s.Config.AttackEncryptions,
+			"coefficients_scored", total)
 	}
 	res.Coefficients = total
 	if total > 0 {

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// discardLogger drops every record; returned by Logger() on nil recorders
+// so call sites never need a nil check.
+var discardLogger = slog.New(discardHandler{})
+
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// LogOptions configures NewLogger.
+type LogOptions struct {
+	// Level is the minimum level emitted (default Info).
+	Level slog.Level
+	// JSON selects JSON records instead of logfmt-style text.
+	JSON bool
+	// Output receives the records; nil discards them.
+	Output io.Writer
+}
+
+// NewLogger builds a leveled structured logger. With a nil Output the
+// returned logger discards everything.
+func NewLogger(opts LogOptions) *slog.Logger {
+	if opts.Output == nil {
+		return discardLogger
+	}
+	hopts := &slog.HandlerOptions{Level: opts.Level}
+	if opts.JSON {
+		return slog.New(slog.NewJSONHandler(opts.Output, hopts))
+	}
+	return slog.New(slog.NewTextHandler(opts.Output, hopts))
+}
+
+// ParseLevel maps the CLI level names (debug, info, warn, error) to slog
+// levels; unknown strings fall back to Info.
+func ParseLevel(s string) slog.Level {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug
+	case "warn", "warning":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}
+
+// fanoutHandler duplicates records to several handlers (console + run-dir
+// log file).
+type fanoutHandler struct{ handlers []slog.Handler }
+
+func (f fanoutHandler) Enabled(ctx context.Context, l slog.Level) bool {
+	for _, h := range f.handlers {
+		if h.Enabled(ctx, l) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f fanoutHandler) Handle(ctx context.Context, r slog.Record) error {
+	var first error
+	for _, h := range f.handlers {
+		if !h.Enabled(ctx, r.Level) {
+			continue
+		}
+		if err := h.Handle(ctx, r.Clone()); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (f fanoutHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	out := make([]slog.Handler, len(f.handlers))
+	for i, h := range f.handlers {
+		out[i] = h.WithAttrs(attrs)
+	}
+	return fanoutHandler{handlers: out}
+}
+
+func (f fanoutHandler) WithGroup(name string) slog.Handler {
+	out := make([]slog.Handler, len(f.handlers))
+	for i, h := range f.handlers {
+		out[i] = h.WithGroup(name)
+	}
+	return fanoutHandler{handlers: out}
+}
+
+// TeeLogger merges several loggers into one that forwards each record to
+// all of them.
+func TeeLogger(loggers ...*slog.Logger) *slog.Logger {
+	var hs []slog.Handler
+	for _, l := range loggers {
+		if l == nil || l == discardLogger {
+			continue
+		}
+		hs = append(hs, l.Handler())
+	}
+	switch len(hs) {
+	case 0:
+		return discardLogger
+	case 1:
+		return slog.New(hs[0])
+	}
+	return slog.New(fanoutHandler{handlers: hs})
+}

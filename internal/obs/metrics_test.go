@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const workers, perWorker = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Mix of cached handles and by-name lookups to exercise the
+			// get-or-create path concurrently.
+			c := reg.Counter("reveal_test_total")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				reg.Counter("reveal_test_total").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := reg.Counter("reveal_test_total").Value(), int64(2*workers*perWorker); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	reg := NewRegistry()
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := reg.Histogram("reveal_test_seconds")
+			for i := 0; i < perWorker; i++ {
+				h.Observe(float64(w*perWorker+i) * 1e-6)
+			}
+		}(w)
+	}
+	wg.Wait()
+	h := reg.Histogram("reveal_test_seconds")
+	if h.Count() != workers*perWorker {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*perWorker)
+	}
+	wantSum := 0.0
+	for i := 0; i < workers*perWorker; i++ {
+		wantSum += float64(i) * 1e-6
+	}
+	if math.Abs(h.Sum()-wantSum) > 1e-9*wantSum {
+		t.Fatalf("sum = %g, want %g", h.Sum(), wantSum)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := newHistogram()
+	// 1..1000 ms: p50 ≈ 0.5 s, p95 ≈ 0.95 s, p99 ≈ 0.99 s. The base-2
+	// buckets are coarse, so allow a factor-2 band around the truth.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) * 1e-3)
+	}
+	checks := []struct {
+		q, want float64
+	}{{0.50, 0.5}, {0.95, 0.95}, {0.99, 0.99}}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		if got < c.want/2 || got > c.want*2 {
+			t.Errorf("Quantile(%g) = %g, want within [%g, %g]",
+				c.q, got, c.want/2, c.want*2)
+		}
+	}
+	if got := h.Quantile(0); got != h.Min() {
+		t.Errorf("Quantile(0) = %g, want min %g", got, h.Min())
+	}
+	if got := h.Quantile(1); math.Abs(got-h.Max()) > 1e-9 {
+		t.Errorf("Quantile(1) = %g, want max %g", got, h.Max())
+	}
+	if got, want := h.Mean(), 0.5005; math.Abs(got-want) > 1e-6 {
+		t.Errorf("Mean = %g, want %g", got, want)
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	h := newHistogram()
+	vals := []float64{1e-6, 3e-6, 1e-4, 2e-3, 0.5, 0.51, 7}
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	prev := 0.0
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile(%g) = %g < previous %g (not monotone)", q, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestHistogramEmptyAndNilSafety(t *testing.T) {
+	var h *Histogram
+	h.Observe(1) // must not panic
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("nil histogram should read as zero")
+	}
+	empty := newHistogram()
+	if empty.Quantile(0.99) != 0 || empty.Min() != 0 || empty.Max() != 0 {
+		t.Fatal("empty histogram should read as zero")
+	}
+	var c *Counter
+	c.Inc()
+	var g *Gauge
+	g.Set(3)
+	g.Add(1)
+	var reg *Registry
+	reg.Counter("x").Add(5)
+	reg.Gauge("y").Set(1)
+	reg.Histogram("z").Observe(1)
+	if err := reg.WritePrometheus(nil); err != nil {
+		t.Fatalf("nil registry WritePrometheus: %v", err)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("reveal_test_gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(`reveal_stage_runs_total{stage="segment"}`).Add(3)
+	reg.Gauge("reveal_up").Set(1)
+	h := reg.Histogram(`reveal_stage_duration_seconds{stage="segment"}`)
+	h.Observe(0.010)
+	h.Observe(0.020)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE reveal_stage_runs_total counter",
+		`reveal_stage_runs_total{stage="segment"} 3`,
+		"# TYPE reveal_up gauge",
+		"reveal_up 1",
+		"# TYPE reveal_stage_duration_seconds summary",
+		`reveal_stage_duration_seconds{stage="segment",quantile="0.5"}`,
+		`reveal_stage_duration_seconds_sum{stage="segment"} 0.03`,
+		`reveal_stage_duration_seconds_count{stage="segment"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q\n%s", want, out)
+		}
+	}
+	// Every non-comment line must be `name value` — parseable exposition.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("unparseable metrics line %q", line)
+		}
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c").Add(7)
+	reg.Gauge("g").Set(1.25)
+	reg.Histogram("h").Observe(0.5)
+	snap := reg.Snapshot()
+	if snap.Counters["c"] != 7 {
+		t.Errorf("counter snapshot = %d, want 7", snap.Counters["c"])
+	}
+	if snap.Gauges["g"] != 1.25 {
+		t.Errorf("gauge snapshot = %g, want 1.25", snap.Gauges["g"])
+	}
+	if snap.Histograms["h"].Count != 1 || snap.Histograms["h"].Sum != 0.5 {
+		t.Errorf("histogram snapshot = %+v", snap.Histograms["h"])
+	}
+}

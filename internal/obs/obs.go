@@ -1,0 +1,100 @@
+// Package obs is the observability layer of the reproduction: a structured
+// slog-based logger, a concurrency-safe metrics registry (counters, gauges,
+// streaming histograms with p50/p95/p99), stage spans timing every step of
+// the attack pipeline, per-run artifact manifests, and opt-in live HTTP
+// endpoints (/metrics, /progress, /debug/pprof).
+//
+// The package is disabled by default: the global recorder is nil, spans are
+// nil pointers whose methods are no-ops, and the instrumented hot paths pay
+// one atomic load per stage entry. Long campaigns enable it with
+//
+//	rec := obs.New(obs.Options{Level: slog.LevelInfo})
+//	obs.SetGlobal(rec)
+//
+// or, for a fully archived run, obs.StartRun, which also writes
+// manifest.json and a Prometheus-text metrics.txt into a run directory.
+package obs
+
+import (
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Recorder bundles a logger, a metrics registry, and the live span state.
+// A nil *Recorder is valid and records nothing.
+type Recorder struct {
+	registry *Registry
+	logger   *slog.Logger
+	start    time.Time
+
+	mu     sync.Mutex
+	active map[string]int
+}
+
+// Options configures a Recorder.
+type Options struct {
+	// Logger receives the structured log stream. Nil discards logs.
+	Logger *slog.Logger
+	// Registry is the metrics registry; nil allocates a fresh one.
+	Registry *Registry
+}
+
+// New builds a Recorder.
+func New(opts Options) *Recorder {
+	reg := opts.Registry
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &Recorder{
+		registry: reg,
+		logger:   opts.Logger,
+		start:    time.Now(),
+		active:   map[string]int{},
+	}
+}
+
+// Registry returns the recorder's metrics registry (nil for a nil recorder).
+func (r *Recorder) Registry() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.registry
+}
+
+// Logger returns the recorder's logger, or a discard logger so callers can
+// log unconditionally.
+func (r *Recorder) Logger() *slog.Logger {
+	if r == nil || r.logger == nil {
+		return discardLogger
+	}
+	return r.logger
+}
+
+// Uptime reports how long the recorder has been alive.
+func (r *Recorder) Uptime() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return time.Since(r.start)
+}
+
+// global is the process-wide recorder used by the package-level helpers the
+// pipeline calls. It is swapped atomically so the disabled hot path costs a
+// single load.
+var global atomic.Pointer[Recorder]
+
+// SetGlobal installs rec as the process-wide recorder (nil disables).
+func SetGlobal(rec *Recorder) { global.Store(rec) }
+
+// Global returns the process-wide recorder; nil when observability is
+// disabled (the default).
+func Global() *Recorder { return global.Load() }
+
+// Enabled reports whether a global recorder is installed.
+func Enabled() bool { return global.Load() != nil }
+
+// Log returns the global structured logger (a discard logger when
+// observability is disabled), so pipeline code can log unconditionally.
+func Log() *slog.Logger { return global.Load().Logger() }

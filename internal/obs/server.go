@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// MetricsServer is the opt-in live view of a running campaign:
+//
+//	/metrics      Prometheus text exposition of the registry
+//	/progress     JSON per-stage progress (runs, items, quantiles, active)
+//	/debug/pprof  the standard Go profiling endpoints
+type MetricsServer struct {
+	srv  *http.Server
+	ln   net.Listener
+	done chan struct{}
+}
+
+// progressReport is the /progress payload.
+type progressReport struct {
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Stages        []StageStats `json:"stages"`
+}
+
+// ServeMetrics starts the live endpoints on addr (e.g. ":9090" or
+// "127.0.0.1:0") backed by the given recorder. It returns once the
+// listener is bound; serving continues in the background until Close.
+func ServeMetrics(rec *Recorder, addr string) (*MetricsServer, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = rec.Registry().WritePrometheus(w)
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(progressReport{
+			UptimeSeconds: rec.Uptime().Seconds(),
+			Stages:        rec.StageStats(),
+		})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	ms := &MetricsServer{
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		ln:   ln,
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(ms.done)
+		_ = ms.srv.Serve(ln)
+	}()
+	return ms, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (m *MetricsServer) Addr() string {
+	if m == nil {
+		return ""
+	}
+	return m.ln.Addr().String()
+}
+
+// Close stops the server and waits for the serve loop to exit.
+func (m *MetricsServer) Close() {
+	if m == nil {
+		return
+	}
+	_ = m.srv.Close()
+	<-m.done
+}

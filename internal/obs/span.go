@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Metric names recorded per pipeline stage. The stage label distinguishes
+// capture, segment, poi, template, classify, hints, dbdd, profile, …
+const (
+	MetricStageDuration = "reveal_stage_duration_seconds"
+	MetricStageRuns     = "reveal_stage_runs_total"
+	MetricStageItems    = "reveal_stage_items_total"
+	MetricStageActive   = "reveal_stage_active"
+)
+
+func stageKey(metric, stage string) string {
+	return fmt.Sprintf("%s{stage=%q}", metric, stage)
+}
+
+// Span is one timed execution of a pipeline stage. A nil *Span is valid
+// and records nothing — the disabled-observability fast path.
+type Span struct {
+	rec   *Recorder
+	name  string
+	start time.Time
+	items int64
+}
+
+// StartSpan opens a span on the global recorder. When observability is
+// disabled it returns nil, and every Span method is a nil-safe no-op.
+func StartSpan(name string) *Span { return Global().StartSpan(name) }
+
+// StartSpan opens a span for one stage execution.
+func (r *Recorder) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	r.active[name]++
+	r.mu.Unlock()
+	r.registry.Gauge(stageKey(MetricStageActive, name)).Add(1)
+	return &Span{rec: r, name: name, start: time.Now()}
+}
+
+// AddItems accumulates the number of items (traces, segments, hints, …)
+// the stage processed, feeding the throughput metrics.
+func (s *Span) AddItems(n int) {
+	if s != nil {
+		s.items += int64(n)
+	}
+}
+
+// End closes the span, recording wall time, run and item counters, and a
+// debug log line. It returns the measured duration.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	r := s.rec
+	reg := r.registry
+	reg.Histogram(stageKey(MetricStageDuration, s.name)).Observe(d.Seconds())
+	reg.Counter(stageKey(MetricStageRuns, s.name)).Inc()
+	if s.items > 0 {
+		reg.Counter(stageKey(MetricStageItems, s.name)).Add(s.items)
+	}
+	reg.Gauge(stageKey(MetricStageActive, s.name)).Add(-1)
+	r.mu.Lock()
+	r.active[s.name]--
+	r.mu.Unlock()
+	r.Logger().Debug("stage done", "stage", s.name,
+		"duration", d, "items", s.items)
+	return d
+}
+
+// StageStats is the per-stage aggregate reported in manifests and on the
+// /progress endpoint.
+type StageStats struct {
+	Name           string  `json:"name"`
+	Runs           int64   `json:"runs"`
+	Items          int64   `json:"items,omitempty"`
+	Active         int     `json:"active,omitempty"`
+	TotalSeconds   float64 `json:"total_seconds"`
+	MinSeconds     float64 `json:"min_seconds"`
+	MaxSeconds     float64 `json:"max_seconds"`
+	P50Seconds     float64 `json:"p50_seconds"`
+	P95Seconds     float64 `json:"p95_seconds"`
+	P99Seconds     float64 `json:"p99_seconds"`
+	ItemsPerSecond float64 `json:"items_per_second,omitempty"`
+}
+
+// StageStats aggregates every stage the recorder has seen, sorted by name.
+func (r *Recorder) StageStats() []StageStats {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.active))
+	activeByName := make(map[string]int, len(r.active))
+	for name, n := range r.active {
+		names = append(names, name)
+		activeByName[name] = n
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	out := make([]StageStats, 0, len(names))
+	for _, name := range names {
+		h := r.registry.Histogram(stageKey(MetricStageDuration, name))
+		snap := h.Snapshot()
+		st := StageStats{
+			Name:         name,
+			Runs:         snap.Count,
+			Items:        r.registry.Counter(stageKey(MetricStageItems, name)).Value(),
+			Active:       activeByName[name],
+			TotalSeconds: snap.Sum,
+			MinSeconds:   snap.Min,
+			MaxSeconds:   snap.Max,
+			P50Seconds:   snap.P50,
+			P95Seconds:   snap.P95,
+			P99Seconds:   snap.P99,
+		}
+		if st.TotalSeconds > 0 && st.Items > 0 {
+			st.ItemsPerSecond = float64(st.Items) / st.TotalSeconds
+		}
+		out = append(out, st)
+	}
+	return out
+}

@@ -111,6 +111,45 @@ func (c *Confusion) FormatTable(minLabel, maxLabel int) string {
 	return b.String()
 }
 
+// Counts returns a deep copy of the raw (true label → predicted label →
+// count) matrix, for machine-readable exports.
+func (c *Confusion) Counts() map[int]map[int]int {
+	out := make(map[int]map[int]int, len(c.counts))
+	for t, row := range c.counts {
+		cp := make(map[int]int, len(row))
+		for p, n := range row {
+			cp[p] = n
+		}
+		out[t] = cp
+	}
+	return out
+}
+
+// ConfusionSummary is the compact machine-readable view of a confusion
+// matrix: the headline rates plus the per-label diagonal, as written into
+// run manifests and -json output.
+type ConfusionSummary struct {
+	OverallAccuracy  float64         `json:"overall_accuracy"`
+	SignAccuracy     float64         `json:"sign_accuracy"`
+	PerLabelAccuracy map[int]float64 `json:"per_label_accuracy"`
+	PerLabelTotal    map[int]int     `json:"per_label_total"`
+}
+
+// Summary builds the compact view.
+func (c *Confusion) Summary() ConfusionSummary {
+	s := ConfusionSummary{
+		OverallAccuracy:  c.OverallAccuracy(),
+		SignAccuracy:     c.SignAccuracy(),
+		PerLabelAccuracy: map[int]float64{},
+		PerLabelTotal:    map[int]int{},
+	}
+	for t := range c.counts {
+		s.PerLabelAccuracy[t] = c.Accuracy(t)
+		s.PerLabelTotal[t] = c.Total(t)
+	}
+	return s
+}
+
 // SignOf maps a coefficient value to its sign class: -1, 0, +1. Used for
 // the paper's claim that sign recovery is 100%.
 func SignOf(v int) int {

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"reveal/internal/linalg"
+	"reveal/internal/obs"
 	"reveal/internal/trace"
 )
 
@@ -59,6 +60,7 @@ func BuildTemplates(set *trace.Set, opts TemplateOptions) (*Templates, error) {
 	if opts.POICount <= 0 {
 		return nil, fmt.Errorf("sca: POICount must be positive")
 	}
+	psp := obs.StartSpan("poi")
 	var scores []float64
 	var err error
 	switch opts.Selector {
@@ -67,15 +69,21 @@ func BuildTemplates(set *trace.Set, opts TemplateOptions) (*Templates, error) {
 	case "sost":
 		scores, err = SOST(set)
 	default:
-		return nil, fmt.Errorf("sca: unknown POI selector %q", opts.Selector)
+		err = fmt.Errorf("sca: unknown POI selector %q", opts.Selector)
 	}
 	if err != nil {
+		psp.End()
 		return nil, err
 	}
 	pois := SelectPOIs(scores, opts.POICount, opts.MinSpacing)
+	psp.AddItems(len(pois))
+	psp.End()
 	if len(pois) == 0 {
 		return nil, fmt.Errorf("sca: no POIs selected")
 	}
+	tsp := obs.StartSpan("template")
+	tsp.AddItems(set.Len())
+	defer tsp.End()
 	return BuildTemplatesAtPOIs(set, pois, opts)
 }
 

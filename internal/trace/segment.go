@@ -2,6 +2,8 @@ package trace
 
 import (
 	"fmt"
+
+	"reveal/internal/obs"
 )
 
 // FindPeaks returns the indices of local maxima exceeding threshold, with
@@ -77,13 +79,26 @@ func SegmentByPeaks(t Trace, peaks []int) ([]Segment, error) {
 // per coefficient). It returns an error when the count does not match,
 // which signals mis-calibration of the threshold.
 func SegmentEncryptionTrace(t Trace, want int, minDistance int) ([]Segment, error) {
+	if len(t) == 0 {
+		return nil, fmt.Errorf("trace: cannot segment an empty trace")
+	}
+	if want < 1 {
+		return nil, fmt.Errorf("trace: want %d segments, need at least 1", want)
+	}
+	sp := obs.StartSpan("segment")
+	defer sp.End()
 	thr := AutoThreshold(t, 0.5)
 	peaks := FindPeaks(t, thr, minDistance)
 	if len(peaks) != want {
 		return nil, fmt.Errorf("trace: found %d sampling peaks, want %d (threshold %.3f)",
 			len(peaks), want, thr)
 	}
-	return SegmentByPeaks(t, peaks)
+	segs, err := SegmentByPeaks(t, peaks)
+	if err != nil {
+		return nil, err
+	}
+	sp.AddItems(len(segs))
+	return segs, nil
 }
 
 // NormalizeSegments resamples every segment to the same length (the median

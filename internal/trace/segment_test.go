@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// The segmentation entry points must reject degenerate inputs with errors,
+// never panic: an attacker-facing tool sees malformed captures routinely
+// (truncated scope buffers, mis-triggered acquisitions, patched kernels
+// with no sampler-port peaks).
+
+func TestSegmentEncryptionTraceEmptyTrace(t *testing.T) {
+	for _, tr := range []Trace{nil, {}} {
+		segs, err := SegmentEncryptionTrace(tr, 4, 8)
+		if err == nil {
+			t.Fatalf("empty trace: got %d segments, want error", len(segs))
+		}
+		if !strings.Contains(err.Error(), "empty") {
+			t.Errorf("empty trace error = %q, want mention of empty", err)
+		}
+	}
+}
+
+func TestSegmentEncryptionTraceInvalidWant(t *testing.T) {
+	tr := Trace{0, 0, 10, 0, 0}
+	for _, want := range []int{0, -3} {
+		if _, err := SegmentEncryptionTrace(tr, want, 8); err == nil {
+			t.Errorf("want=%d: expected error", want)
+		}
+	}
+}
+
+func TestSegmentEncryptionTraceNoSentinelPeak(t *testing.T) {
+	// A flat trace (e.g. the branch-free patched kernel with the port
+	// spike suppressed) has no peaks above the auto threshold.
+	flat := make(Trace, 200)
+	for i := range flat {
+		flat[i] = 1.0
+	}
+	if _, err := SegmentEncryptionTrace(flat, 4, 8); err == nil {
+		t.Fatal("flat trace: expected segmentation error, got none")
+	}
+	// Monotone ramp: local maxima only at the boundary, which FindPeaks
+	// excludes — still no peaks, still an error, no panic.
+	ramp := make(Trace, 100)
+	for i := range ramp {
+		ramp[i] = float64(i)
+	}
+	if _, err := SegmentEncryptionTrace(ramp, 1, 8); err == nil {
+		t.Fatal("ramp trace: expected segmentation error, got none")
+	}
+}
+
+func TestSegmentEncryptionTraceSingleCoefficient(t *testing.T) {
+	// One sampling peak: the single-coefficient capture must segment into
+	// exactly one sub-trace running from the peak to the end.
+	tr := make(Trace, 40)
+	tr[8] = 10
+	segs, err := SegmentEncryptionTrace(tr, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("got %d segments, want 1", len(segs))
+	}
+	if segs[0].Start != 8 || segs[0].End != len(tr) {
+		t.Errorf("segment bounds [%d, %d), want [8, %d)", segs[0].Start, segs[0].End, len(tr))
+	}
+	if len(segs[0].Samples) != len(tr)-8 {
+		t.Errorf("segment length %d, want %d", len(segs[0].Samples), len(tr)-8)
+	}
+	// And a count mismatch (asking for two coefficients) must error.
+	if _, err := SegmentEncryptionTrace(tr, 2, 4); err == nil {
+		t.Error("count mismatch: expected error, got none")
+	}
+}
+
+func TestFindPeaksDegenerateInputs(t *testing.T) {
+	// Tiny traces have no interior samples; must return no peaks, not
+	// index out of range.
+	for _, tr := range []Trace{nil, {}, {1}, {1, 2}} {
+		if peaks := FindPeaks(tr, 0, 1); len(peaks) != 0 {
+			t.Errorf("FindPeaks(%v) = %v, want none", tr, peaks)
+		}
+	}
+}
+
+func TestSegmentByPeaksNoPeaks(t *testing.T) {
+	if _, err := SegmentByPeaks(Trace{1, 2, 3}, nil); err == nil {
+		t.Fatal("no peaks: expected error")
+	}
+}
+
+func TestMedianLengthEmpty(t *testing.T) {
+	if got := MedianLength(nil); got != 0 {
+		t.Fatalf("MedianLength(nil) = %d, want 0", got)
+	}
+}
