@@ -1,0 +1,96 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"reveal/internal/experiments"
+	"reveal/internal/obs"
+)
+
+// metricTolFlag collects repeatable -metric-tol name=tolerance overrides.
+type metricTolFlag map[string]float64
+
+func (m metricTolFlag) String() string {
+	var parts []string
+	for k, v := range m {
+		parts = append(parts, fmt.Sprintf("%s=%g", k, v))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (m metricTolFlag) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=tolerance, got %q", s)
+	}
+	t, err := strconv.ParseFloat(val, 64)
+	if err != nil || t < 0 {
+		return fmt.Errorf("invalid tolerance %q", val)
+	}
+	m[name] = t
+	return nil
+}
+
+// runCompare implements `revealctl compare OLD NEW`: the regression gate.
+// Both arguments are manifest.json or BENCH_*.json files; quality metrics
+// (accuracy, recovery counts) regressing beyond tolerance fail the command
+// with a non-zero exit, which is what CI hangs the gate on.
+func runCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	tol := fs.Float64("tol", 0.05, "default relative tolerance for gated metrics")
+	gatePerf := fs.Bool("gate-perf", false, "also gate wall-clock metrics (ns_per_op, *_seconds); off by default because they are machine-dependent")
+	jsonOut := fs.Bool("json", false, "print the per-metric deltas as JSON")
+	metricTol := metricTolFlag{}
+	fs.Var(metricTol, "metric-tol", "per-metric tolerance override, name=tolerance (repeatable)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: revealctl compare [flags] OLD.json NEW.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return fmt.Errorf("compare needs exactly two files, got %d", fs.NArg())
+	}
+	prev, err := obs.LoadRunMetrics(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	curr, err := obs.LoadRunMetrics(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	if prev.Kind != curr.Kind {
+		fmt.Fprintf(os.Stderr, "revealctl: warning: comparing a %s against a %s\n", prev.Kind, curr.Kind)
+	}
+	deltas, regressed := obs.CompareMetrics(prev, curr, obs.CompareOptions{
+		Tolerance:       *tol,
+		MetricTolerance: metricTol,
+		GatePerf:        *gatePerf,
+	})
+	if *jsonOut {
+		if err := experiments.WriteJSON(os.Stdout, struct {
+			Old       string            `json:"old"`
+			New       string            `json:"new"`
+			Regressed bool              `json:"regressed"`
+			Deltas    []obs.MetricDelta `json:"deltas"`
+		}{prev.Path, curr.Path, regressed, deltas}); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("comparing %s (%s)\n       vs %s (%s)\n\n", prev.Path, prev.Kind, curr.Path, curr.Kind)
+		fmt.Print(obs.FormatDeltas(deltas))
+	}
+	if regressed {
+		return fmt.Errorf("regression detected (%s vs %s)", fs.Arg(0), fs.Arg(1))
+	}
+	if !*jsonOut {
+		fmt.Println("\nno regressions")
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"reveal/internal/core"
+	"reveal/internal/experiments"
+)
+
+// runDiagnose implements `revealctl diagnose`: collect a profiling campaign
+// and assess its leakage (SNR curves, adjacent-pair Welch t-tests, SOSD/SNR
+// POI overlap, template health). With -run-dir the full report is archived
+// as diagnostics.json next to the manifest.
+func runDiagnose(args []string) error {
+	fs := flag.NewFlagSet("diagnose", flag.ExitOnError)
+	seed := fs.Uint64("seed", 1, "device seed")
+	lowNoise := fs.Bool("lownoise", false, "assess the low-noise measurement setup")
+	traces := fs.Int("traces", 0, "profiling traces per coefficient value (0 = preset default)")
+	maxAbs := fs.Int("maxabs", 0, "largest |coefficient| to profile (0 = preset default)")
+	curves := fs.Bool("curves", false, "embed the full SNR and t-test curves in the report")
+	jsonOut := fs.Bool("json", false, "print the report as JSON instead of text")
+	ofl := registerObsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var dev *core.Device
+	var popts core.ProfileOptions
+	if *lowNoise {
+		dev = core.NewLowNoiseDevice(*seed)
+		popts = core.HighAccuracyProfileOptions()
+	} else {
+		dev = core.NewDevice(*seed)
+		popts = core.DefaultProfileOptions()
+	}
+	if *traces > 0 {
+		popts.TracesPerValue = *traces
+	}
+	if *maxAbs > 0 {
+		popts.MaxAbsValue = *maxAbs
+	}
+	opts := core.DiagnosticsOptions{Profile: popts, KeepCurves: *curves}
+	camp, err := ofl.start("diagnose", args, *seed, opts)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := camp.finish(); err != nil {
+			fmt.Fprintln(os.Stderr, "revealctl: finishing run:", err)
+		}
+	}()
+	if !*jsonOut {
+		fmt.Printf("collecting profiling campaign (%d traces per value, %d values)...\n",
+			popts.TracesPerValue, 2*popts.MaxAbsValue+1)
+	}
+	report, err := core.Diagnose(dev, opts)
+	if err != nil {
+		return err
+	}
+	camp.setResult("leaky_pairs", report.LeakyPairs)
+	camp.setResult("total_pairs", report.TotalPairs)
+	camp.setResult("warnings", len(report.Warnings))
+	camp.setResult("healthy", report.Healthy)
+	if camp.run != nil {
+		f, err := os.Create(filepath.Join(camp.run.Dir, "diagnostics.json"))
+		if err != nil {
+			return err
+		}
+		err = experiments.WriteJSON(f, report)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing diagnostics.json: %w", err)
+		}
+	}
+	if *jsonOut {
+		return experiments.WriteJSON(os.Stdout, report)
+	}
+	fmt.Print(core.FormatDiagnostics(report))
+	return nil
+}

@@ -8,6 +8,8 @@
 //	revealctl table2 [-seed S] [-json]
 //	revealctl attack [-seed S] [-messages N]
 //	revealctl profile [-o FILE] [-seed S]
+//	revealctl diagnose [-seed S] [-traces N] [-curves] [-json]
+//	revealctl compare [-tol T] [-metric-tol name=T] [-gate-perf] OLD NEW
 //
 // Every subcommand accepts the observability flags:
 //
@@ -44,6 +46,10 @@ func main() {
 		err = runAttack(os.Args[2:])
 	case "profile":
 		err = runProfile(os.Args[2:])
+	case "diagnose":
+		err = runDiagnose(os.Args[2:])
+	case "compare":
+		err = runCompare(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -62,6 +68,8 @@ commands:
   table2   reproduce Table II (per-measurement guessing probabilities)
   attack   end-to-end single-trace attack with full message recovery
   profile  run the profiling campaign and save the trained classifier
+  diagnose leakage assessment: SNR, t-tests, POI overlap, template health
+  compare  diff two manifest.json/BENCH_*.json files; exit 1 on regression
 
 observability (all commands):
   -run-dir DIR        write manifest.json, metrics.txt, run.log
@@ -213,6 +221,7 @@ func runAttack(args []string) error {
 		if err != nil {
 			return err
 		}
+		core.EmitOutcomeEvents(out, cap)
 		lastOutcome = out
 		vAcc, sAcc, err := out.E2.Accuracy(cap.Truth.E2)
 		if err != nil {

@@ -7,6 +7,10 @@
 // Usage:
 //
 //	rvsim -s kernel.s [-disasm] [-trace power.csv] [-max 100000]
+//	      [-run-dir DIR] [-log-level LEVEL]
+//
+// With -run-dir the simulation is archived like a revealctl campaign:
+// manifest.json, metrics.txt, run.log and trace.json in DIR.
 package main
 
 import (
@@ -28,22 +32,41 @@ func main() {
 	maxInstrs := flag.Int("max", 1000000, "instruction budget")
 	memSize := flag.Int("mem", 1<<17, "RAM size in bytes")
 	seed := flag.Uint64("seed", 1, "measurement-noise seed for the power trace")
+	runDir := flag.String("run-dir", "", "archive the simulation: manifest.json, metrics.txt, run.log, trace.json")
 	logLevel := flag.String("log-level", "", "enable structured logging of the run (debug, info, warn, error)")
 	flag.Parse()
 
-	if *logLevel != "" {
+	var archived *obs.Run
+	if *runDir != "" {
+		var err error
+		archived, err = obs.StartRun(*runDir, obs.RunOptions{
+			Tool: "rvsim", Command: "simulate", Args: os.Args[1:], Seed: *seed,
+			Config:   map[string]any{"source": *src, "max": *maxInstrs, "mem": *memSize},
+			LogLevel: obs.ParseLevel(*logLevel),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rvsim:", err)
+			os.Exit(1)
+		}
+	} else if *logLevel != "" {
 		obs.SetGlobal(obs.New(obs.Options{Logger: obs.NewLogger(obs.LogOptions{
 			Level: obs.ParseLevel(*logLevel), Output: os.Stderr,
 		})}))
 	}
 
-	if err := run(*src, *disasm, *traceOut, *maxInstrs, *memSize, *seed); err != nil {
+	err := run(archived, *src, *disasm, *traceOut, *maxInstrs, *memSize, *seed)
+	// Finish explicitly: os.Exit skips defers, and the manifest must be
+	// sealed on the failure path too.
+	if ferr := archived.Finish(); ferr != nil && err == nil {
+		err = ferr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "rvsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(srcPath string, disasm bool, traceOut string, maxInstrs, memSize int, seed uint64) error {
+func run(archived *obs.Run, srcPath string, disasm bool, traceOut string, maxInstrs, memSize int, seed uint64) error {
 	if srcPath == "" {
 		return fmt.Errorf("missing -s <source.s>")
 	}
@@ -89,6 +112,8 @@ func run(srcPath string, disasm bool, traceOut string, maxInstrs, memSize int, s
 	fmt.Printf("halted after %d instructions, %d cycles\n", executed, cpu.Cycle)
 	obs.Log().Info("simulation done", "instructions", executed,
 		"cycles", cpu.Cycle, "duration", simTime)
+	archived.SetResult("instructions", executed)
+	archived.SetResult("cycles", cpu.Cycle)
 
 	abi := []string{"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
 		"s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",

@@ -6,6 +6,10 @@
 // Usage:
 //
 //	tracegen -o traces.rvts -count 1000 [-q 132120577] [-seed S] [-len L]
+//	         [-run-dir DIR] [-log-level LEVEL]
+//
+// With -run-dir the generation is archived like a revealctl campaign:
+// manifest.json, metrics.txt, run.log and trace.json in DIR.
 package main
 
 import (
@@ -26,17 +30,43 @@ func main() {
 	seed := flag.Uint64("seed", 1, "device + sampler seed")
 	length := flag.Int("len", 40, "sub-trace length (tail-aligned samples)")
 	lowNoise := flag.Bool("lownoise", false, "use the low-noise device profile")
+	runDir := flag.String("run-dir", "", "archive the generation: manifest.json, metrics.txt, run.log, trace.json")
 	logLevel := flag.String("log-level", "", "enable structured logging and stage timing (debug, info, warn, error)")
 	flag.Parse()
 
-	if *logLevel != "" {
+	var archived *obs.Run
+	if *runDir != "" {
+		var err error
+		archived, err = obs.StartRun(*runDir, obs.RunOptions{
+			Tool: "tracegen", Command: "generate", Args: os.Args[1:], Seed: *seed,
+			Config: map[string]any{
+				"count": *count, "q": *q, "len": *length, "lownoise": *lowNoise,
+			},
+			LogLevel: obs.ParseLevel(*logLevel),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+	} else if *logLevel != "" {
 		obs.SetGlobal(obs.New(obs.Options{Logger: obs.NewLogger(obs.LogOptions{
 			Level: obs.ParseLevel(*logLevel), Output: os.Stderr,
 		})}))
 		defer logStageSummary()
 	}
 
-	if err := run(*out, *count, *q, *seed, *length, *lowNoise); err != nil {
+	err := run(*out, *count, *q, *seed, *length, *lowNoise)
+	if err == nil && archived != nil {
+		archived.SetResult("traces", *count)
+		archived.SetResult("trace_length", *length)
+		archived.SetResult("output", *out)
+	}
+	// Finish explicitly: os.Exit skips defers, and the manifest must be
+	// sealed on the failure path too.
+	if ferr := archived.Finish(); ferr != nil && err == nil {
+		err = ferr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}

@@ -76,18 +76,21 @@ func (c *CoefficientClassifier) Attack(cap *EncryptionCapture, n int) (*AttackOu
 	sp := obs.StartSpan("attack")
 	sp.AddItems(2 * n)
 	defer sp.End()
-	attackOne := func(tr trace.Trace) (*AttackResult, error) {
+	attackOne := func(poly string, tr trace.Trace) (*AttackResult, error) {
+		psp := sp.Child(poly)
+		psp.AddItems(n)
+		defer psp.End()
 		segs, err := trace.SegmentEncryptionTrace(tr, n+1, 8)
 		if err != nil {
 			return nil, err
 		}
 		return c.AttackSegments(segs[:n])
 	}
-	r1, err := attackOne(cap.TraceE1)
+	r1, err := attackOne("e1", cap.TraceE1)
 	if err != nil {
 		return nil, fmt.Errorf("core: attacking e1 trace: %w", err)
 	}
-	r2, err := attackOne(cap.TraceE2)
+	r2, err := attackOne("e2", cap.TraceE2)
 	if err != nil {
 		return nil, fmt.Errorf("core: attacking e2 trace: %w", err)
 	}

@@ -56,12 +56,37 @@ func HighAccuracyProfileOptions() ProfileOptions {
 	return o
 }
 
+// ProfilingSets holds the labeled, tail-aligned trace sets a profiling
+// campaign produces: the sign (branch) set over {−1, 0, +1} and the
+// positive/negative value sets. Training consumes them; the leakage
+// diagnostics (Diagnose) assess them.
+type ProfilingSets struct {
+	// Length is the common tail-aligned sub-trace length.
+	Length int
+	Sign   *trace.Set
+	Pos    *trace.Set
+	Neg    *trace.Set
+}
+
 // Profile runs the profiling campaign on the device: for every coefficient
 // value in [−MaxAbsValue, MaxAbsValue] it pins the sampler output to that
 // value, captures traces, segments them, and trains the sign and per-sign
 // value templates.
 func Profile(dev *Device, opts ProfileOptions) (*CoefficientClassifier, error) {
 	sp := obs.StartSpan("profile")
+	defer sp.End()
+	sets, err := CollectProfilingSets(dev, opts, sp)
+	if err != nil {
+		return nil, err
+	}
+	return TrainClassifier(sets, opts, sp)
+}
+
+// CollectProfilingSets runs the capture half of the profiling campaign and
+// returns the labeled sets. The collection is timed as a "collect" child of
+// parent (nil parent is fine — the child span is then a no-op).
+func CollectProfilingSets(dev *Device, opts ProfileOptions, parent *obs.Span) (*ProfilingSets, error) {
+	sp := parent.Child("collect")
 	defer sp.End()
 	if opts.MaxAbsValue < 1 {
 		return nil, fmt.Errorf("core: MaxAbsValue must be >= 1")
@@ -169,35 +194,47 @@ func Profile(dev *Device, opts ProfileOptions) (*CoefficientClassifier, error) {
 		}
 	}
 
-	signSet := &trace.Set{}
-	posSet := &trace.Set{}
-	negSet := &trace.Set{}
+	sets := &ProfilingSets{
+		Length: length,
+		Sign:   &trace.Set{},
+		Pos:    &trace.Set{},
+		Neg:    &trace.Set{},
+	}
 	for i, s := range rawSegs {
 		tr := tailAlign(s.Samples, length)
 		v := labels[i]
-		signSet.Append(tr, sca.SignOf(v))
+		sets.Sign.Append(tr, sca.SignOf(v))
 		switch {
 		case v > 0:
-			posSet.Append(tr, v)
+			sets.Pos.Append(tr, v)
 		case v < 0:
-			negSet.Append(tr, v)
+			sets.Neg.Append(tr, v)
 		}
 	}
+	return sets, nil
+}
 
-	signTmpl, err := sca.BuildTemplates(signSet, opts.Templates)
+// TrainClassifier builds the sign and per-sign value templates from
+// collected profiling sets — the training half of Profile, timed as a
+// "train" child of parent.
+func TrainClassifier(sets *ProfilingSets, opts ProfileOptions, parent *obs.Span) (*CoefficientClassifier, error) {
+	sp := parent.Child("train")
+	sp.AddItems(sets.Sign.Len())
+	defer sp.End()
+	signTmpl, err := sca.BuildTemplates(sets.Sign, opts.Templates)
 	if err != nil {
 		return nil, fmt.Errorf("core: building sign templates: %w", err)
 	}
-	posTmpl, err := sca.BuildTemplates(posSet, opts.Templates)
+	posTmpl, err := sca.BuildTemplates(sets.Pos, opts.Templates)
 	if err != nil {
 		return nil, fmt.Errorf("core: building positive templates: %w", err)
 	}
-	negTmpl, err := sca.BuildTemplates(negSet, opts.Templates)
+	negTmpl, err := sca.BuildTemplates(sets.Neg, opts.Templates)
 	if err != nil {
 		return nil, fmt.Errorf("core: building negative templates: %w", err)
 	}
 	return &CoefficientClassifier{
-		Length:      length,
+		Length:      sets.Length,
 		MaxAbsValue: opts.MaxAbsValue,
 		Sign:        signTmpl,
 		Pos:         posTmpl,

@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// RunMetrics is the flattened numeric view of a run artifact — either a
+// manifest.json written by StartRun or a BENCH_*.json benchmark snapshot —
+// the common currency of the `revealctl compare` regression gate.
+type RunMetrics struct {
+	Path string
+	// Kind is "manifest" or "bench".
+	Kind string
+	// Values maps dotted metric names (e.g. "results.mean_value_accuracy",
+	// "stage.classify.items_per_second", "ns_per_op") to their numbers.
+	Values map[string]float64
+}
+
+// LoadRunMetrics reads a manifest.json or BENCH_*.json file and flattens
+// every numeric field into dotted metric names.
+func LoadRunMetrics(path string) (*RunMetrics, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("obs: parsing %s: %w", path, err)
+	}
+	rm := &RunMetrics{Path: path, Values: map[string]float64{}}
+	if _, isBench := doc["ns_per_op"]; isBench {
+		rm.Kind = "bench"
+		for _, key := range []string{"ns_per_op", "items_per_second", "iterations"} {
+			if v, ok := doc[key].(float64); ok {
+				rm.Values[key] = v
+			}
+		}
+		flattenJSON("metrics", doc["metrics"], rm.Values)
+	} else {
+		rm.Kind = "manifest"
+		if v, ok := doc["duration_seconds"].(float64); ok {
+			rm.Values["duration_seconds"] = v
+		}
+		flattenJSON("results", doc["results"], rm.Values)
+	}
+	flattenStages(doc["stages"], rm.Values)
+	if len(rm.Values) == 0 {
+		return nil, fmt.Errorf("obs: %s holds no numeric metrics (not a manifest or bench snapshot?)", path)
+	}
+	return rm, nil
+}
+
+// flattenJSON walks nested JSON maps collecting numbers under dotted keys.
+func flattenJSON(prefix string, v any, out map[string]float64) {
+	switch t := v.(type) {
+	case float64:
+		out[prefix] = t
+	case bool:
+		if t {
+			out[prefix] = 1
+		} else {
+			out[prefix] = 0
+		}
+	case map[string]any:
+		for k, sub := range t {
+			key := k
+			if prefix != "" {
+				key = prefix + "." + k
+			}
+			flattenJSON(key, sub, out)
+		}
+	}
+}
+
+// flattenStages turns the per-stage aggregate list into
+// stage.<name>.<field> metrics.
+func flattenStages(v any, out map[string]float64) {
+	stages, ok := v.([]any)
+	if !ok {
+		return
+	}
+	for _, s := range stages {
+		st, ok := s.(map[string]any)
+		if !ok {
+			continue
+		}
+		name, _ := st["name"].(string)
+		if name == "" {
+			continue
+		}
+		for _, field := range []string{"runs", "items", "total_seconds", "p50_seconds", "p95_seconds", "items_per_second"} {
+			if val, ok := st[field].(float64); ok {
+				out["stage."+name+"."+field] = val
+			}
+		}
+	}
+}
+
+// MetricDelta is the comparison of one metric across two runs.
+type MetricDelta struct {
+	Name string  `json:"name"`
+	Old  float64 `json:"old"`
+	New  float64 `json:"new"`
+	// Delta is New − Old; RelDelta is Delta normalized by |Old|.
+	Delta    float64 `json:"delta"`
+	RelDelta float64 `json:"rel_delta"`
+	// Direction is "higher_better", "lower_better", or "informational".
+	Direction string `json:"direction"`
+	// Gated metrics fail the comparison when they regress past tolerance.
+	Gated     bool    `json:"gated"`
+	Tolerance float64 `json:"tolerance,omitempty"`
+	Regressed bool    `json:"regressed"`
+	// MissingIn is "old" or "new" when the metric exists on one side only.
+	MissingIn string `json:"missing_in,omitempty"`
+}
+
+// CompareOptions configures the regression gate.
+type CompareOptions struct {
+	// Tolerance is the default relative tolerance before a gated metric
+	// counts as regressed (default 0.05 when zero).
+	Tolerance float64
+	// MetricTolerance overrides the tolerance per metric name.
+	MetricTolerance map[string]float64
+	// GatePerf also gates the timing metrics (ns_per_op, *_seconds,
+	// items_per_second), which are machine-dependent and therefore
+	// informational by default.
+	GatePerf bool
+}
+
+// metricDirection classifies a metric name into its improvement direction
+// and whether it measures wall-clock performance (machine-dependent).
+func metricDirection(name string) (dir string, perf bool) {
+	base := name
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		base = name[i+1:]
+	}
+	switch {
+	case base == "ns_per_op" || base == "duration_seconds" || strings.HasSuffix(base, "_seconds"):
+		return "lower_better", true
+	case base == "items_per_second":
+		return "higher_better", true
+	case strings.Contains(base, "accuracy") || strings.Contains(base, "-acc-") ||
+		strings.Contains(base, "recovered") ||
+		strings.Contains(base, "success") || strings.Contains(base, "correct"):
+		// "-acc-" covers the benchmark metric convention ("value-acc-%").
+		return "higher_better", false
+	default:
+		return "informational", false
+	}
+}
+
+// CompareMetrics diffs two flattened runs metric by metric and reports
+// whether any gated metric regressed beyond its tolerance — the heart of
+// `revealctl compare`. Deltas are sorted regressions-first, then by name.
+func CompareMetrics(prev, curr *RunMetrics, opts CompareOptions) ([]MetricDelta, bool) {
+	tol := opts.Tolerance
+	if tol == 0 {
+		tol = 0.05
+	}
+	names := map[string]bool{}
+	for k := range prev.Values {
+		names[k] = true
+	}
+	for k := range curr.Values {
+		names[k] = true
+	}
+	var deltas []MetricDelta
+	regressed := false
+	for name := range names {
+		dir, perf := metricDirection(name)
+		d := MetricDelta{Name: name, Direction: dir}
+		d.Gated = dir != "informational" && (!perf || opts.GatePerf)
+		if d.Gated {
+			d.Tolerance = tol
+			if t, ok := opts.MetricTolerance[name]; ok {
+				d.Tolerance = t
+			}
+		}
+		a, inOld := prev.Values[name]
+		b, inNew := curr.Values[name]
+		switch {
+		case !inOld:
+			d.New, d.MissingIn = b, "old"
+		case !inNew:
+			d.Old, d.MissingIn = a, "new"
+			// A gated metric that vanished is a regression: the gate must
+			// not silently pass because a result stopped being reported.
+			d.Regressed = d.Gated
+		default:
+			d.Old, d.New = a, b
+			d.Delta = b - a
+			d.RelDelta = relDelta(a, b)
+			if d.Gated {
+				bad := d.RelDelta
+				if dir == "higher_better" {
+					bad = -bad
+				}
+				d.Regressed = bad > d.Tolerance
+			}
+		}
+		if d.Regressed {
+			regressed = true
+		}
+		deltas = append(deltas, d)
+	}
+	sort.Slice(deltas, func(i, j int) bool {
+		if deltas[i].Regressed != deltas[j].Regressed {
+			return deltas[i].Regressed
+		}
+		return deltas[i].Name < deltas[j].Name
+	})
+	return deltas, regressed
+}
+
+// relDelta is (b−a)/|a| with a sign-preserving fallback for a == 0.
+func relDelta(a, b float64) float64 {
+	if a == 0 {
+		if b == 0 {
+			return 0
+		}
+		return math.Copysign(math.Inf(1), b)
+	}
+	return (b - a) / math.Abs(a)
+}
+
+// FormatDeltas renders the comparison as a human table: gated metrics and
+// changed informational ones, regressions flagged.
+func FormatDeltas(deltas []MetricDelta) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-48s %14s %14s %9s  %s\n", "metric", "old", "new", "Δ%", "status")
+	for _, d := range deltas {
+		if !d.Gated && d.Delta == 0 && d.MissingIn == "" {
+			continue
+		}
+		status := "ok"
+		switch {
+		case d.Regressed:
+			status = "REGRESSED"
+		case d.MissingIn != "":
+			status = "missing in " + d.MissingIn
+		case !d.Gated:
+			status = "info"
+		}
+		rel := "-"
+		if d.MissingIn == "" {
+			rel = fmt.Sprintf("%+.2f%%", 100*d.RelDelta)
+		}
+		fmt.Fprintf(&b, "%-48s %14.6g %14.6g %9s  %s\n", d.Name, d.Old, d.New, rel, status)
+	}
+	return b.String()
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const manifestA = `{
+  "tool": "revealctl", "command": "attack", "seed": 1,
+  "duration_seconds": 10.0,
+  "results": {
+    "mean_value_accuracy": 0.95,
+    "mean_sign_accuracy": 1.0,
+    "messages_recovered": 2,
+    "bikz_with_hints": 12.2,
+    "classifier_path": "profile.rvcl"
+  },
+  "stages": [
+    {"name": "classify", "runs": 4, "total_seconds": 2.0, "items_per_second": 4100}
+  ]
+}`
+
+func TestLoadRunMetricsManifest(t *testing.T) {
+	rm, err := LoadRunMetrics(writeFile(t, "manifest.json", manifestA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.Kind != "manifest" {
+		t.Fatalf("kind = %q", rm.Kind)
+	}
+	for key, want := range map[string]float64{
+		"duration_seconds":                10,
+		"results.mean_value_accuracy":     0.95,
+		"results.messages_recovered":      2,
+		"results.bikz_with_hints":         12.2,
+		"stage.classify.total_seconds":    2,
+		"stage.classify.items_per_second": 4100,
+	} {
+		if got := rm.Values[key]; got != want {
+			t.Errorf("%s = %v, want %v (have %v)", key, got, want, rm.Values)
+		}
+	}
+	if _, ok := rm.Values["results.classifier_path"]; ok {
+		t.Error("non-numeric result must be skipped")
+	}
+}
+
+func TestLoadRunMetricsBench(t *testing.T) {
+	rm, err := LoadRunMetrics(writeFile(t, "BENCH_x.json", `{
+	  "name": "Table1TemplateAttack", "iterations": 1, "ns_per_op": 5.0e8,
+	  "items_per_second": 9000,
+	  "metrics": {"value_accuracy_pct": 94.2, "coefficients/op": 6144}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.Kind != "bench" {
+		t.Fatalf("kind = %q", rm.Kind)
+	}
+	if rm.Values["ns_per_op"] != 5e8 || rm.Values["metrics.value_accuracy_pct"] != 94.2 {
+		t.Fatalf("values = %v", rm.Values)
+	}
+}
+
+func TestLoadRunMetricsRejectsJunk(t *testing.T) {
+	if _, err := LoadRunMetrics(writeFile(t, "junk.json", `{"hello": "world"}`)); err == nil {
+		t.Fatal("junk JSON must be rejected")
+	}
+	if _, err := LoadRunMetrics(writeFile(t, "bad.json", `not json`)); err == nil {
+		t.Fatal("invalid JSON must be rejected")
+	}
+}
+
+func TestCompareMetricsGatesAccuracyDrop(t *testing.T) {
+	a := &RunMetrics{Values: map[string]float64{
+		"results.mean_value_accuracy": 0.95,
+		"duration_seconds":            10,
+	}}
+	b := &RunMetrics{Values: map[string]float64{
+		"results.mean_value_accuracy": 0.80, // −15.8%: beyond 5% tolerance
+		"duration_seconds":            30,   // perf: informational by default
+	}}
+	deltas, regressed := CompareMetrics(a, b, CompareOptions{})
+	if !regressed {
+		t.Fatal("accuracy drop beyond tolerance must regress")
+	}
+	if deltas[0].Name != "results.mean_value_accuracy" || !deltas[0].Regressed {
+		t.Fatalf("regression must sort first: %+v", deltas)
+	}
+	for _, d := range deltas {
+		if d.Name == "duration_seconds" && d.Regressed {
+			t.Fatal("perf metric must not gate by default")
+		}
+	}
+
+	// Within tolerance: no regression.
+	b.Values["results.mean_value_accuracy"] = 0.93
+	if _, regressed := CompareMetrics(a, b, CompareOptions{}); regressed {
+		t.Fatal("3% drop within 5% tolerance must pass")
+	}
+
+	// Tighter per-metric tolerance flips it back to a regression.
+	_, regressed = CompareMetrics(a, b, CompareOptions{
+		MetricTolerance: map[string]float64{"results.mean_value_accuracy": 0.01},
+	})
+	if !regressed {
+		t.Fatal("per-metric tolerance override must gate the 3% drop")
+	}
+}
+
+func TestCompareMetricsGatePerfAndImprovements(t *testing.T) {
+	a := &RunMetrics{Values: map[string]float64{"ns_per_op": 1e9}}
+	b := &RunMetrics{Values: map[string]float64{"ns_per_op": 2e9}}
+	if _, regressed := CompareMetrics(a, b, CompareOptions{}); regressed {
+		t.Fatal("perf must be informational without GatePerf")
+	}
+	if _, regressed := CompareMetrics(a, b, CompareOptions{GatePerf: true}); !regressed {
+		t.Fatal("2x slowdown must regress with GatePerf")
+	}
+	// Improvements never regress, regardless of magnitude.
+	if _, regressed := CompareMetrics(b, a, CompareOptions{GatePerf: true}); regressed {
+		t.Fatal("speedup must not regress")
+	}
+}
+
+func TestMetricDirectionBenchAccuracy(t *testing.T) {
+	// The benchmark snapshots name their quality metrics "value-acc-%";
+	// they must be gated like the manifests' "*_accuracy" results.
+	for name, want := range map[string]string{
+		"metrics.value-acc-%":         "higher_better",
+		"metrics.sign-acc-%":          "higher_better",
+		"results.mean_value_accuracy": "higher_better",
+		"ns_per_op":                   "lower_better",
+		"stage.attack.items":          "informational",
+	} {
+		if dir, _ := metricDirection(name); dir != want {
+			t.Errorf("metricDirection(%q) = %s, want %s", name, dir, want)
+		}
+	}
+	a := &RunMetrics{Values: map[string]float64{"metrics.value-acc-%": 68.2}}
+	b := &RunMetrics{Values: map[string]float64{"metrics.value-acc-%": 50.0}}
+	if _, regressed := CompareMetrics(a, b, CompareOptions{}); !regressed {
+		t.Fatal("bench accuracy drop beyond tolerance must regress")
+	}
+}
+
+func TestCompareMetricsMissingGatedMetric(t *testing.T) {
+	a := &RunMetrics{Values: map[string]float64{"results.mean_value_accuracy": 0.95}}
+	b := &RunMetrics{Values: map[string]float64{"results.other": 1}}
+	deltas, regressed := CompareMetrics(a, b, CompareOptions{})
+	if !regressed {
+		t.Fatal("a gated metric missing from the new run must regress")
+	}
+	if deltas[0].MissingIn != "new" {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+}
+
+func TestFormatDeltas(t *testing.T) {
+	a := &RunMetrics{Values: map[string]float64{"results.sign_accuracy": 1.0, "results.x": 3}}
+	b := &RunMetrics{Values: map[string]float64{"results.sign_accuracy": 0.5, "results.x": 3}}
+	deltas, _ := CompareMetrics(a, b, CompareOptions{})
+	out := FormatDeltas(deltas)
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(out, "results.sign_accuracy") {
+		t.Fatalf("format output:\n%s", out)
+	}
+	if strings.Contains(out, "results.x") {
+		t.Fatalf("unchanged informational metric should be elided:\n%s", out)
+	}
+}

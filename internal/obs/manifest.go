@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"log/slog"
 	"os"
 	"os/exec"
@@ -100,6 +101,24 @@ type RunOptions struct {
 	// MetricsAddr, when non-empty, serves /metrics, /progress and
 	// /debug/pprof on that address for the lifetime of the run.
 	MetricsAddr string
+	// TraceCapacity bounds the span trace-event buffer written to
+	// trace.json (0 = DefaultTraceCapacity, negative disables tracing).
+	TraceCapacity int
+	// CoeffCapacity bounds the per-coefficient journal written to
+	// coeffs.jsonl (0 = DefaultCoeffCapacity, negative disables it).
+	CoeffCapacity int
+}
+
+// capacityOrDefault resolves the StartRun capacity convention.
+func capacityOrDefault(v, def int) int {
+	switch {
+	case v < 0:
+		return 0
+	case v == 0:
+		return def
+	default:
+		return v
+	}
 }
 
 // StartRun creates dir, builds a recorder logging to both stderr and
@@ -120,7 +139,11 @@ func StartRun(dir string, opts RunOptions) (*Run, error) {
 	if !opts.Quiet {
 		console = NewLogger(LogOptions{Level: opts.LogLevel, JSON: opts.JSONLog, Output: os.Stderr})
 	}
-	rec := New(Options{Logger: TeeLogger(fileLogger, console)})
+	rec := New(Options{
+		Logger:        TeeLogger(fileLogger, console),
+		TraceCapacity: capacityOrDefault(opts.TraceCapacity, DefaultTraceCapacity),
+		CoeffCapacity: capacityOrDefault(opts.CoeffCapacity, DefaultCoeffCapacity),
+	})
 
 	var cfg json.RawMessage
 	if opts.Config != nil {
@@ -198,6 +221,24 @@ func (r *Run) Finish() error {
 	}
 	if err != nil && firstErr == nil {
 		firstErr = fmt.Errorf("obs: writing metrics.txt: %w", err)
+	}
+	writeEvents := func(name string, write func(io.Writer) error) {
+		f, err := os.Create(filepath.Join(r.Dir, name))
+		if err == nil {
+			err = write(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("obs: writing %s: %w", name, err)
+		}
+	}
+	if r.Recorder.TracingEnabled() {
+		writeEvents("trace.json", r.Recorder.WriteTraceJSON)
+	}
+	if r.Recorder.CoeffJournalEnabled() {
+		writeEvents("coeffs.jsonl", r.Recorder.WriteCoeffsJSONL)
 	}
 	r.Recorder.Logger().Info("run finished",
 		"duration", time.Duration(r.Manifest.DurationSeconds*float64(time.Second)),

@@ -1,8 +1,10 @@
 // Package obs is the observability layer of the reproduction: a structured
 // slog-based logger, a concurrency-safe metrics registry (counters, gauges,
-// streaming histograms with p50/p95/p99), stage spans timing every step of
-// the attack pipeline, per-run artifact manifests, and opt-in live HTTP
-// endpoints (/metrics, /progress, /debug/pprof).
+// streaming histograms with p50/p95/p99), hierarchical stage spans timing
+// every step of the attack pipeline, bounded-memory event tracing (Chrome
+// trace_event trace.json plus a per-coefficient coeffs.jsonl journal),
+// per-run artifact manifests with a tolerance-based run comparator, and
+// opt-in live HTTP endpoints (/metrics, /progress, /healthz, /debug/pprof).
 //
 // The package is disabled by default: the global recorder is nil, spans are
 // nil pointers whose methods are no-ops, and the instrumented hot paths pay
@@ -29,6 +31,12 @@ type Recorder struct {
 	logger   *slog.Logger
 	start    time.Time
 
+	// spanEvents buffers Chrome trace_event records of completed spans;
+	// coeffEvents journals per-coefficient classification outcomes. Either
+	// is nil when the corresponding capacity was 0 (tracing disabled).
+	spanEvents  *boundedBuffer[TraceEvent]
+	coeffEvents *boundedBuffer[CoeffEvent]
+
 	mu     sync.Mutex
 	active map[string]int
 }
@@ -39,6 +47,13 @@ type Options struct {
 	Logger *slog.Logger
 	// Registry is the metrics registry; nil allocates a fresh one.
 	Registry *Registry
+	// TraceCapacity bounds the span trace-event buffer exported as
+	// trace.json; 0 disables span tracing.
+	TraceCapacity int
+	// CoeffCapacity bounds the per-coefficient event journal exported as
+	// coeffs.jsonl; 0 disables the journal (aggregate coefficient metrics
+	// are still recorded).
+	CoeffCapacity int
 }
 
 // New builds a Recorder.
@@ -48,10 +63,12 @@ func New(opts Options) *Recorder {
 		reg = NewRegistry()
 	}
 	return &Recorder{
-		registry: reg,
-		logger:   opts.Logger,
-		start:    time.Now(),
-		active:   map[string]int{},
+		registry:    reg,
+		logger:      opts.Logger,
+		start:       time.Now(),
+		spanEvents:  newBoundedBuffer[TraceEvent](opts.TraceCapacity),
+		coeffEvents: newBoundedBuffer[CoeffEvent](opts.CoeffCapacity),
+		active:      map[string]int{},
 	}
 }
 

@@ -216,6 +216,16 @@ func TestMetricsServerEndpoints(t *testing.T) {
 	if out := get("/debug/pprof/cmdline"); out == "" {
 		t.Error("/debug/pprof/cmdline empty")
 	}
+	var health struct {
+		Status        string  `json:"status"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+	}
+	if err := json.Unmarshal([]byte(get("/healthz")), &health); err != nil {
+		t.Fatalf("/healthz not JSON: %v", err)
+	}
+	if health.Status != "ok" || health.UptimeSeconds < 0 {
+		t.Errorf("/healthz = %+v", health)
+	}
 }
 
 func TestParseLevel(t *testing.T) {

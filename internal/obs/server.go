@@ -12,6 +12,7 @@ import (
 //
 //	/metrics      Prometheus text exposition of the registry
 //	/progress     JSON per-stage progress (runs, items, quantiles, active)
+//	/healthz      liveness probe: {"status":"ok","uptime_seconds":...}
 //	/debug/pprof  the standard Go profiling endpoints
 type MetricsServer struct {
 	srv  *http.Server
@@ -43,6 +44,13 @@ func ServeMetrics(rec *Recorder, addr string) (*MetricsServer, error) {
 			Stages:        rec.StageStats(),
 		})
 	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status":         "ok",
+			"uptime_seconds": rec.Uptime().Seconds(),
+		})
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -54,7 +62,15 @@ func ServeMetrics(rec *Recorder, addr string) (*MetricsServer, error) {
 		return nil, err
 	}
 	ms := &MetricsServer{
-		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		srv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+			// The pprof CPU profile streams for its whole sampling window
+			// (default 30s, callers pass up to ?seconds=60), so the write
+			// timeout must comfortably exceed it.
+			WriteTimeout: 90 * time.Second,
+			IdleTimeout:  120 * time.Second,
+		},
 		ln:   ln,
 		done: make(chan struct{}),
 	}

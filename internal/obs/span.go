@@ -52,6 +52,16 @@ func (s *Span) AddItems(n int) {
 	}
 }
 
+// Child opens a sub-span named "<parent>/<name>", giving hierarchical
+// stage metrics and nested trace events. A nil receiver (observability
+// disabled) returns a nil span.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.rec.StartSpan(s.name + "/" + name)
+}
+
 // End closes the span, recording wall time, run and item counters, and a
 // debug log line. It returns the measured duration.
 func (s *Span) End() time.Duration {
@@ -67,6 +77,18 @@ func (s *Span) End() time.Duration {
 		reg.Counter(stageKey(MetricStageItems, s.name)).Add(s.items)
 	}
 	reg.Gauge(stageKey(MetricStageActive, s.name)).Add(-1)
+	if r.spanEvents != nil {
+		var args map[string]any
+		if s.items > 0 {
+			args = map[string]any{"items": s.items}
+		}
+		r.spanEvents.add(TraceEvent{
+			Name: s.name, Cat: "stage", Phase: "X",
+			TS:  float64(s.start.Sub(r.start).Nanoseconds()) / 1e3,
+			Dur: float64(d.Nanoseconds()) / 1e3,
+			PID: 1, TID: 1, Args: args,
+		})
+	}
 	r.mu.Lock()
 	r.active[s.name]--
 	r.mu.Unlock()

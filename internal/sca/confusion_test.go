@@ -1,0 +1,138 @@
+package sca
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestConfusionRates(t *testing.T) {
+	c := NewConfusion()
+	c.Add(1, 1)
+	c.Add(1, 1)
+	c.Add(1, -1)
+	c.Add(0, 0)
+
+	if got := c.Rate(1, 1); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("Rate(1,1) = %v, want 2/3", got)
+	}
+	if got := c.Rate(1, -1); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("Rate(1,-1) = %v, want 1/3", got)
+	}
+	// Unseen labels must read as 0, not panic or NaN.
+	if got := c.Rate(42, 1); got != 0 {
+		t.Fatalf("Rate on unseen true label = %v, want 0", got)
+	}
+	if got := c.Rate(1, 42); got != 0 {
+		t.Fatalf("Rate on unseen prediction = %v, want 0", got)
+	}
+	if got := c.Accuracy(42); got != 0 {
+		t.Fatalf("Accuracy on unseen label = %v, want 0", got)
+	}
+	if got := c.OverallAccuracy(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("OverallAccuracy = %v, want 0.75", got)
+	}
+	if got := NewConfusion().OverallAccuracy(); got != 0 {
+		t.Fatalf("empty OverallAccuracy = %v, want 0", got)
+	}
+}
+
+func TestSignAccuracy(t *testing.T) {
+	c := NewConfusion()
+	c.Add(2, 1)   // value wrong, sign right
+	c.Add(-3, -1) // value wrong, sign right
+	c.Add(0, 0)   // exact
+	c.Add(1, -1)  // sign wrong
+
+	if got := c.SignAccuracy(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("SignAccuracy = %v, want 0.75", got)
+	}
+	if got := c.OverallAccuracy(); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("OverallAccuracy = %v, want 0.25", got)
+	}
+	if got := NewConfusion().SignAccuracy(); got != 0 {
+		t.Fatalf("empty SignAccuracy = %v, want 0", got)
+	}
+	for v, want := range map[int]int{-7: -1, -1: -1, 0: 0, 1: 1, 19: 1} {
+		if got := SignOf(v); got != want {
+			t.Fatalf("SignOf(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestFormatTableClipsLabels(t *testing.T) {
+	c := NewConfusion()
+	c.Add(-9, -9) // outside [-7, 7]: clipped like the paper's Table I
+	c.Add(-2, -2)
+	c.Add(0, 0)
+	c.Add(3, 3)
+	c.Add(3, 2)
+	c.Add(8, 8) // outside
+
+	out := c.FormatTable(-7, 7)
+	if strings.Contains(out, "-9") || strings.Contains(out, " 8") {
+		t.Fatalf("labels outside [-7,7] must be clipped:\n%s", out)
+	}
+	for _, want := range []string{"-2", "0", "3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("label %s missing:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + one row per surviving label (-2, 0, 2, 3).
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	// Column = true label: Rate(3, 3) = 50%.
+	if !strings.Contains(out, "50.0") {
+		t.Fatalf("expected 50.0%% cell for true label 3:\n%s", out)
+	}
+}
+
+func TestConfusionSummaryRoundTrip(t *testing.T) {
+	c := NewConfusion()
+	c.Add(1, 1)
+	c.Add(1, 2)
+	c.Add(-1, -1)
+
+	s := c.Summary()
+	if math.Abs(s.OverallAccuracy-2.0/3) > 1e-12 {
+		t.Fatalf("summary overall = %v", s.OverallAccuracy)
+	}
+	if s.SignAccuracy != 1 {
+		t.Fatalf("summary sign = %v, want 1 (1→2 keeps sign)", s.SignAccuracy)
+	}
+	if s.PerLabelTotal[1] != 2 || s.PerLabelTotal[-1] != 1 {
+		t.Fatalf("per-label totals = %v", s.PerLabelTotal)
+	}
+	if math.Abs(s.PerLabelAccuracy[1]-0.5) > 1e-12 {
+		t.Fatalf("per-label accuracy = %v", s.PerLabelAccuracy)
+	}
+
+	// The summary must survive a JSON round trip (manifest results path).
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ConfusionSummary
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.OverallAccuracy != s.OverallAccuracy || back.SignAccuracy != s.SignAccuracy {
+		t.Fatalf("round trip changed headline rates: %+v vs %+v", back, s)
+	}
+	if back.PerLabelAccuracy[1] != s.PerLabelAccuracy[1] || back.PerLabelTotal[-1] != s.PerLabelTotal[-1] {
+		t.Fatalf("round trip changed per-label maps: %+v vs %+v", back, s)
+	}
+}
+
+func TestConfusionCountsDeepCopy(t *testing.T) {
+	c := NewConfusion()
+	c.Add(1, 1)
+	counts := c.Counts()
+	counts[1][1] = 99
+	if c.Rate(1, 1) != 1 {
+		t.Fatal("Counts must deep-copy, mutation leaked back")
+	}
+}
