@@ -10,6 +10,8 @@
 //	revealctl profile [-o FILE] [-seed S]
 //	revealctl diagnose [-seed S] [-traces N] [-curves] [-json]
 //	revealctl compare [-tol T] [-metric-tol name=T] [-gate-perf] OLD NEW
+//	revealctl submit [-addr URL] [-spec FILE | -kind K -seed S ...] [-wait]
+//	revealctl status [-addr URL] [-id ID] [-result] [-json]
 //
 // Every subcommand accepts the observability flags:
 //
@@ -50,6 +52,10 @@ func main() {
 		err = runDiagnose(os.Args[2:])
 	case "compare":
 		err = runCompare(os.Args[2:])
+	case "submit":
+		err = runSubmit(os.Args[2:])
+	case "status":
+		err = runStatus(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -70,6 +76,8 @@ commands:
   profile  run the profiling campaign and save the trained classifier
   diagnose leakage assessment: SNR, t-tests, POI overlap, template health
   compare  diff two manifest.json/BENCH_*.json files; exit 1 on regression
+  submit   post a campaign spec to a running reveald daemon
+  status   list a reveald daemon's jobs or show one job's status/result
 
 observability (all commands):
   -run-dir DIR        write manifest.json, metrics.txt, run.log

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"reveal/internal/jobs"
+	"reveal/internal/service"
+)
+
+// runSubmit implements `revealctl submit`: post a campaign spec to a
+// running reveald and optionally wait for the result.
+func runSubmit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:9090", "reveald base URL")
+	specPath := fs.String("spec", "", "campaign spec JSON file (- for stdin); inline flags below are ignored when set")
+	kind := fs.String("kind", "attack", "campaign kind: attack, diagnose, sleep")
+	seed := fs.Uint64("seed", 1, "campaign seed")
+	lowNoise := fs.Bool("lownoise", false, "use the low-noise measurement setup")
+	traces := fs.Int("traces", 0, "profiling traces per coefficient value (0 = preset default)")
+	encryptions := fs.Int("encryptions", 1, "single-trace attacks to run (attack kind)")
+	workers := fs.Int("workers", 0, "classification goroutines (0 = daemon default)")
+	attempts := fs.Int("attempts", 0, "job attempt budget (0 = daemon default)")
+	timeout := fs.Duration("timeout", 0, "job deadline covering queue wait and retries (0 = none)")
+	wait := fs.Bool("wait", false, "poll until the campaign finishes and print its result")
+	poll := fs.Duration("poll", 500*time.Millisecond, "poll interval with -wait")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var spec service.CampaignSpec
+	if *specPath != "" {
+		var data []byte
+		var err error
+		if *specPath == "-" {
+			data, err = readAll(os.Stdin)
+		} else {
+			data, err = os.ReadFile(*specPath)
+		}
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return fmt.Errorf("parsing %s: %w", *specPath, err)
+		}
+	} else {
+		spec = service.CampaignSpec{
+			Kind:                  *kind,
+			Seed:                  *seed,
+			LowNoise:              *lowNoise,
+			ProfileTracesPerValue: *traces,
+			Encryptions:           *encryptions,
+			Workers:               *workers,
+			MaxAttempts:           *attempts,
+			TimeoutMS:             int(timeout.Milliseconds()),
+		}
+	}
+	if err := spec.Normalize(); err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+	client := service.NewClient(*addr)
+	st, err := client.Submit(ctx, &spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("submitted %s (%s, seed %d): %s\n", st.ID, st.Kind, spec.Seed, st.State)
+	if !*wait {
+		fmt.Printf("poll with: revealctl status -addr %s -id %s\n", *addr, st.ID)
+		return nil
+	}
+	st, err = client.WaitDone(ctx, st.ID, *poll)
+	if err != nil {
+		return err
+	}
+	printStatus(st)
+	if st.State == jobs.StateFailed {
+		return fmt.Errorf("campaign %s failed: %s", st.ID, st.Error)
+	}
+	var result json.RawMessage
+	if err := client.Result(ctx, st.ID, &result); err != nil {
+		return err
+	}
+	fmt.Println(string(result))
+	return nil
+}
+
+// runStatus implements `revealctl status`: list jobs or show one, with an
+// optional result fetch.
+func runStatus(args []string) error {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:9090", "reveald base URL")
+	id := fs.String("id", "", "campaign id (empty = list all jobs)")
+	result := fs.Bool("result", false, "also fetch and print the result (requires -id)")
+	jsonOut := fs.Bool("json", false, "print raw JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx := context.Background()
+	client := service.NewClient(*addr)
+
+	if *id == "" {
+		list, err := client.List(ctx)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			return printJSON(list)
+		}
+		queued, running, cached, err := client.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d jobs (%d queued, %d running), %d cached template sets\n",
+			len(list), queued, running, cached)
+		for _, st := range list {
+			printStatus(st)
+		}
+		return nil
+	}
+
+	st, err := client.Campaign(ctx, *id)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		if err := printJSON(st); err != nil {
+			return err
+		}
+	} else {
+		printStatus(st)
+	}
+	if *result {
+		var raw json.RawMessage
+		if err := client.Result(ctx, *id, &raw); err != nil {
+			return err
+		}
+		fmt.Println(string(raw))
+	}
+	return nil
+}
+
+// printStatus renders one job line.
+func printStatus(st jobs.Status) {
+	line := fmt.Sprintf("%s  %-8s %-8s attempt %d/%d", st.ID, st.Kind, st.State, st.Attempts, st.MaxAttempts)
+	if st.FinishedAt != nil {
+		line += fmt.Sprintf("  finished %s", st.FinishedAt.Format(time.RFC3339))
+	}
+	if st.Error != "" {
+		line += "  error: " + st.Error
+	}
+	fmt.Println(line)
+}
+
+func printJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func readAll(f *os.File) ([]byte, error) { return io.ReadAll(f) }

@@ -1,0 +1,113 @@
+// Command reveald is the attack-campaign daemon: it serves the HTTP/JSON
+// campaign API (submit a campaign spec, poll status, fetch results) next to
+// the live observability endpoints, executes campaigns on a job queue with
+// retries and deadlines, parallelizes classification on a sharded worker
+// pool, and caches trained templates so repeated campaigns against the same
+// device configuration skip profiling.
+//
+// Usage:
+//
+//	reveald [-addr :9090] [-workers N] [-classify-workers N] [-queue N]
+//	        [-cache N] [-retries N] [-backoff DUR] [-data-dir DIR]
+//	        [-drain-timeout DUR] [-log-level LEVEL] [-log-json]
+//
+// Endpoints (all on -addr):
+//
+//	POST   /api/v1/campaigns             submit a campaign spec
+//	GET    /api/v1/campaigns             list jobs
+//	GET    /api/v1/campaigns/{id}        job status
+//	GET    /api/v1/campaigns/{id}/result result of a finished job
+//	DELETE /api/v1/campaigns/{id}        cancel a job
+//	GET    /api/v1/stats                 queue depth, running jobs, cache size
+//	/metrics /progress /healthz /debug/pprof  (observability layer)
+//
+// On SIGTERM/SIGINT the daemon stops accepting submissions, lets running
+// jobs finish for up to -drain-timeout, then cancels them and exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"reveal/internal/jobs"
+	"reveal/internal/obs"
+	"reveal/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "reveald:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("reveald", flag.ExitOnError)
+	addr := fs.String("addr", ":9090", "listen address for the API and observability endpoints")
+	workers := fs.Int("workers", 2, "concurrent campaign jobs")
+	classifyWorkers := fs.Int("classify-workers", 0, "classification goroutines per campaign (0 = GOMAXPROCS)")
+	queueCap := fs.Int("queue", 64, "maximum queued+running jobs (0 = unbounded)")
+	cacheCap := fs.Int("cache", 4, "template cache capacity (trained classifiers)")
+	retries := fs.Int("retries", 3, "default attempts per job")
+	backoff := fs.Duration("backoff", 500*time.Millisecond, "base retry backoff (doubles per attempt)")
+	dataDir := fs.String("data-dir", "", "write one run directory with a manifest per finished job")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long to let running jobs finish on shutdown")
+	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
+	logJSON := fs.Bool("log-json", false, "emit JSON log records")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rec := obs.New(obs.Options{
+		Logger: obs.NewLogger(obs.LogOptions{
+			Level: obs.ParseLevel(*logLevel), JSON: *logJSON, Output: os.Stderr,
+		}),
+	})
+	obs.SetGlobal(rec)
+
+	svc := service.New(service.Config{
+		QueueOptions: jobs.Options{
+			MaxAttempts: *retries,
+			BackoffBase: *backoff,
+			BackoffMax:  60 * time.Second,
+			Capacity:    *queueCap,
+		},
+		PoolWorkers:     *workers,
+		ClassifyWorkers: *classifyWorkers,
+		CacheCapacity:   *cacheCap,
+		DataDir:         *dataDir,
+	})
+	srv, err := obs.ServeMetricsWith(rec, *addr, svc.Handler())
+	if err != nil {
+		return fmt.Errorf("binding %s: %w", *addr, err)
+	}
+	svc.Start()
+	obs.Log().Info("reveald listening",
+		"addr", srv.Addr(), "workers", *workers,
+		"classify_workers", *classifyWorkers, "cache", *cacheCap,
+		"data_dir", *dataDir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	s := <-sig
+	obs.Log().Info("shutting down", "signal", s.String(), "drain_timeout", *drainTimeout)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := svc.Shutdown(ctx)
+	httpCtx, httpCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer httpCancel()
+	if err := srv.Shutdown(httpCtx); err != nil {
+		obs.Log().Warn("http server drain timed out", "error", err)
+	}
+	if drainErr != nil {
+		return drainErr
+	}
+	obs.Log().Info("reveald stopped cleanly")
+	return nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"reveal/internal/bfv"
@@ -69,10 +70,32 @@ type AttackOutcome struct {
 	E1, E2 *AttackResult
 }
 
+// AttackOptions tunes one attack execution.
+type AttackOptions struct {
+	// Workers is the number of classification goroutines used per error
+	// polynomial; values <= 1 run the serial path. The sharded parallel
+	// path produces byte-identical results to the serial one, so this is
+	// purely a throughput knob. When Workers > 1 the two polynomials are
+	// additionally segmented and classified concurrently.
+	Workers int
+}
+
 // Attack runs the single-trace attack on both error polynomials of a
 // captured encryption (each trace contains n real coefficients plus the
 // sentinel iteration, which is discarded).
 func (c *CoefficientClassifier) Attack(cap *EncryptionCapture, n int) (*AttackOutcome, error) {
+	return c.AttackCtx(context.Background(), cap, n)
+}
+
+// AttackCtx is Attack with cancellation: the classification aborts at the
+// next stage boundary once ctx is done.
+func (c *CoefficientClassifier) AttackCtx(ctx context.Context, cap *EncryptionCapture, n int) (*AttackOutcome, error) {
+	return c.AttackWithOptions(ctx, cap, n, AttackOptions{})
+}
+
+// AttackWithOptions runs the single-trace attack with explicit concurrency
+// options. It is the full entry point behind Attack/AttackCtx.
+func (c *CoefficientClassifier) AttackWithOptions(ctx context.Context, cap *EncryptionCapture, n int, opts AttackOptions) (*AttackOutcome, error) {
 	sp := obs.StartSpan("attack")
 	sp.AddItems(2 * n)
 	defer sp.End()
@@ -80,11 +103,36 @@ func (c *CoefficientClassifier) Attack(cap *EncryptionCapture, n int) (*AttackOu
 		psp := sp.Child(poly)
 		psp.AddItems(n)
 		defer psp.End()
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: attack canceled: %w", err)
+		}
 		segs, err := trace.SegmentEncryptionTrace(tr, n+1, 8)
 		if err != nil {
 			return nil, err
 		}
-		return c.AttackSegments(segs[:n])
+		return c.attackSegments(ctx, segs[:n], opts.Workers)
+	}
+	if opts.Workers > 1 {
+		// The two error polynomials are independent: segment and classify
+		// them concurrently, each with its own shard pool.
+		type polyRes struct {
+			r   *AttackResult
+			err error
+		}
+		ch := make(chan polyRes, 1)
+		go func() {
+			r, err := attackOne("e1", cap.TraceE1)
+			ch <- polyRes{r, err}
+		}()
+		r2, err2 := attackOne("e2", cap.TraceE2)
+		p1 := <-ch
+		if p1.err != nil {
+			return nil, fmt.Errorf("core: attacking e1 trace: %w", p1.err)
+		}
+		if err2 != nil {
+			return nil, fmt.Errorf("core: attacking e2 trace: %w", err2)
+		}
+		return &AttackOutcome{E1: p1.r, E2: r2}, nil
 	}
 	r1, err := attackOne("e1", cap.TraceE1)
 	if err != nil {

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sort"
 
 	"reveal/internal/obs"
 	"reveal/internal/sca"
@@ -79,10 +81,18 @@ func (c *CoefficientClassifier) ClassifySegment(seg trace.Trace) (*Classificatio
 			probs[v] = signProbs[-1] * p
 		}
 	}
-	// Normalize (guards against a missing side).
+	// Normalize (guards against a missing side). The total is accumulated
+	// in ascending label order: float addition is order-sensitive, and map
+	// iteration order would make repeated classifications of the same
+	// segment differ in the last bits.
+	labels := make([]int, 0, len(probs))
+	for v := range probs {
+		labels = append(labels, v)
+	}
+	sort.Ints(labels)
 	total := 0.0
-	for _, p := range probs {
-		total += p
+	for _, v := range labels {
+		total += probs[v]
 	}
 	if total > 0 {
 		for v := range probs {
@@ -122,6 +132,12 @@ type AttackResult struct {
 // AttackSegments classifies every per-coefficient segment of an already
 // segmented encryption trace.
 func (c *CoefficientClassifier) AttackSegments(segs []trace.Segment) (*AttackResult, error) {
+	return c.AttackSegmentsCtx(context.Background(), segs)
+}
+
+// AttackSegmentsCtx is AttackSegments with cancellation: the loop checks
+// ctx between coefficients and aborts early once it is done.
+func (c *CoefficientClassifier) AttackSegmentsCtx(ctx context.Context, segs []trace.Segment) (*AttackResult, error) {
 	sp := obs.StartSpan("classify")
 	sp.AddItems(len(segs))
 	defer sp.End()
@@ -131,6 +147,11 @@ func (c *CoefficientClassifier) AttackSegments(segs []trace.Segment) (*AttackRes
 		Probs:  make([]map[int]float64, len(segs)),
 	}
 	for i, s := range segs {
+		if i%classifyCancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: classification canceled at coefficient %d: %w", i, err)
+			}
+		}
 		cl, err := c.ClassifySegment(s.Samples)
 		if err != nil {
 			return nil, fmt.Errorf("core: coefficient %d: %w", i, err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -64,13 +65,19 @@ type DiagnosticsReport struct {
 // of the three template sets. Warnings are also emitted as instant events
 // into the trace stream.
 func Diagnose(dev *Device, opts DiagnosticsOptions) (*DiagnosticsReport, error) {
+	return DiagnoseCtx(context.Background(), dev, opts)
+}
+
+// DiagnoseCtx is Diagnose with cancellation, checked at every stage
+// boundary (collection runs, training, and between set assessments).
+func DiagnoseCtx(ctx context.Context, dev *Device, opts DiagnosticsOptions) (*DiagnosticsReport, error) {
 	sp := obs.StartSpan("diagnose")
 	defer sp.End()
-	sets, err := CollectProfilingSets(dev, opts.Profile, sp)
+	sets, err := CollectProfilingSetsCtx(ctx, dev, opts.Profile, sp)
 	if err != nil {
 		return nil, err
 	}
-	cls, err := TrainClassifier(sets, opts.Profile, sp)
+	cls, err := TrainClassifierCtx(ctx, sets, opts.Profile, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -87,6 +94,9 @@ func Diagnose(dev *Device, opts DiagnosticsOptions) (*DiagnosticsReport, error) 
 		{"pos", sets.Pos, cls.Pos},
 		{"neg", sets.Neg, cls.Neg},
 	} {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: assessment canceled: %w", err)
+		}
 		sd, err := assessSet(target.name, target.set, target.tmpl, opts)
 		if err != nil {
 			return nil, fmt.Errorf("core: assessing %s set: %w", target.name, err)

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"reveal/internal/obs"
+	"reveal/internal/trace"
+)
+
+// classifyCancelStride is how many coefficients each worker classifies
+// between context checks: cheap enough to keep cancellation latency low
+// without paying a ctx.Err() per coefficient.
+const classifyCancelStride = 16
+
+// attackSegments dispatches between the serial and the sharded-parallel
+// classification paths. Both produce identical results.
+func (c *CoefficientClassifier) attackSegments(ctx context.Context, segs []trace.Segment, workers int) (*AttackResult, error) {
+	if workers <= 1 || len(segs) < 2 {
+		return c.AttackSegmentsCtx(ctx, segs)
+	}
+	return c.AttackSegmentsParallel(ctx, segs, workers)
+}
+
+// AttackSegmentsParallel classifies the per-coefficient segments on a
+// sharded worker pool: the segment index space is split into `workers`
+// contiguous shards, and each shard is classified by its own goroutine
+// writing results by index. Because every coefficient's classification is
+// an independent pure function of its segment, the output is byte-identical
+// to AttackSegments — parallelism is purely a throughput optimization.
+// The pool aborts early (and cancels its siblings) on the first error or
+// when ctx is done.
+func (c *CoefficientClassifier) AttackSegmentsParallel(ctx context.Context, segs []trace.Segment, workers int) (*AttackResult, error) {
+	if workers <= 1 || len(segs) < 2 {
+		return c.AttackSegmentsCtx(ctx, segs)
+	}
+	if workers > len(segs) {
+		workers = len(segs)
+	}
+	sp := obs.StartSpan("classify")
+	sp.AddItems(len(segs))
+	defer sp.End()
+
+	res := &AttackResult{
+		Values: make([]int, len(segs)),
+		Signs:  make([]int, len(segs)),
+		Probs:  make([]map[int]float64, len(segs)),
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	// Contiguous shards: worker w owns [w*quota, min((w+1)*quota, n)), the
+	// last one absorbing the remainder. Contiguity keeps each worker's
+	// memory walk sequential over the segment slice.
+	quota := (len(segs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * quota
+		hi := lo + quota
+		if hi > len(segs) {
+			hi = len(segs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if (i-lo)%classifyCancelStride == 0 {
+					if err := ctx.Err(); err != nil {
+						fail(fmt.Errorf("core: classification canceled at coefficient %d: %w", i, err))
+						return
+					}
+				}
+				cl, err := c.ClassifySegment(segs[i].Samples)
+				if err != nil {
+					fail(fmt.Errorf("core: coefficient %d: %w", i, err))
+					return
+				}
+				res.Values[i] = cl.Value
+				res.Signs[i] = cl.Sign
+				res.Probs[i] = cl.Probs
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"reveal/internal/obs"
 	"reveal/internal/sampler"
@@ -73,19 +75,31 @@ type ProfilingSets struct {
 // value, captures traces, segments them, and trains the sign and per-sign
 // value templates.
 func Profile(dev *Device, opts ProfileOptions) (*CoefficientClassifier, error) {
+	return ProfileCtx(context.Background(), dev, opts)
+}
+
+// ProfileCtx is Profile with cancellation: the collection loop and the
+// training stage both abort at the next stage boundary once ctx is done.
+func ProfileCtx(ctx context.Context, dev *Device, opts ProfileOptions) (*CoefficientClassifier, error) {
 	sp := obs.StartSpan("profile")
 	defer sp.End()
-	sets, err := CollectProfilingSets(dev, opts, sp)
+	sets, err := CollectProfilingSetsCtx(ctx, dev, opts, sp)
 	if err != nil {
 		return nil, err
 	}
-	return TrainClassifier(sets, opts, sp)
+	return TrainClassifierCtx(ctx, sets, opts, sp)
 }
 
 // CollectProfilingSets runs the capture half of the profiling campaign and
 // returns the labeled sets. The collection is timed as a "collect" child of
 // parent (nil parent is fine — the child span is then a no-op).
 func CollectProfilingSets(dev *Device, opts ProfileOptions, parent *obs.Span) (*ProfilingSets, error) {
+	return CollectProfilingSetsCtx(context.Background(), dev, opts, parent)
+}
+
+// CollectProfilingSetsCtx is CollectProfilingSets with cancellation,
+// checked once per capture run.
+func CollectProfilingSetsCtx(ctx context.Context, dev *Device, opts ProfileOptions, parent *obs.Span) (*ProfilingSets, error) {
 	sp := parent.Child("collect")
 	defer sp.End()
 	if opts.MaxAbsValue < 1 {
@@ -146,6 +160,10 @@ func CollectProfilingSets(dev *Device, opts ProfileOptions, parent *obs.Span) (*
 	var rawSegs []trace.Segment
 	var labels []int
 	for remaining > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: profiling canceled with %d/%d segments collected: %w",
+				target-remaining, target, err)
+		}
 		values := make([]int64, opts.CoeffsPerRun)
 		// Edge positions get uniform filler (their segments are discarded).
 		values[0] = int64(advance())
@@ -218,26 +236,50 @@ func CollectProfilingSets(dev *Device, opts ProfileOptions, parent *obs.Span) (*
 // collected profiling sets — the training half of Profile, timed as a
 // "train" child of parent.
 func TrainClassifier(sets *ProfilingSets, opts ProfileOptions, parent *obs.Span) (*CoefficientClassifier, error) {
+	return TrainClassifierCtx(context.Background(), sets, opts, parent)
+}
+
+// TrainClassifierCtx is TrainClassifier with cancellation. The three
+// template sets (sign, positive, negative) are independent, so they are
+// trained concurrently — training is the per-class half of the profiling
+// cost and parallelizes cleanly.
+func TrainClassifierCtx(ctx context.Context, sets *ProfilingSets, opts ProfileOptions, parent *obs.Span) (*CoefficientClassifier, error) {
 	sp := parent.Child("train")
 	sp.AddItems(sets.Sign.Len())
 	defer sp.End()
-	signTmpl, err := sca.BuildTemplates(sets.Sign, opts.Templates)
-	if err != nil {
-		return nil, fmt.Errorf("core: building sign templates: %w", err)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: training canceled: %w", err)
 	}
-	posTmpl, err := sca.BuildTemplates(sets.Pos, opts.Templates)
-	if err != nil {
-		return nil, fmt.Errorf("core: building positive templates: %w", err)
+	var wg sync.WaitGroup
+	type trained struct {
+		tmpl *sca.Templates
+		err  error
 	}
-	negTmpl, err := sca.BuildTemplates(sets.Neg, opts.Templates)
-	if err != nil {
-		return nil, fmt.Errorf("core: building negative templates: %w", err)
+	train := func(dst *trained, set *trace.Set, name string) {
+		defer wg.Done()
+		t, err := sca.BuildTemplates(set, opts.Templates)
+		if err != nil {
+			dst.err = fmt.Errorf("core: building %s templates: %w", name, err)
+			return
+		}
+		dst.tmpl = t
+	}
+	var sign, pos, neg trained
+	wg.Add(3)
+	go train(&sign, sets.Sign, "sign")
+	go train(&pos, sets.Pos, "positive")
+	go train(&neg, sets.Neg, "negative")
+	wg.Wait()
+	for _, r := range []*trained{&sign, &pos, &neg} {
+		if r.err != nil {
+			return nil, r.err
+		}
 	}
 	return &CoefficientClassifier{
 		Length:      sets.Length,
 		MaxAbsValue: opts.MaxAbsValue,
-		Sign:        signTmpl,
-		Pos:         posTmpl,
-		Neg:         negTmpl,
+		Sign:        sign.tmpl,
+		Pos:         pos.tmpl,
+		Neg:         neg.tmpl,
 	}, nil
 }

@@ -1,0 +1,437 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastOptions keeps retry latencies test-friendly.
+func fastOptions() Options {
+	return Options{
+		MaxAttempts: 3,
+		BackoffBase: 5 * time.Millisecond,
+		BackoffMax:  40 * time.Millisecond,
+		JitterSeed:  7,
+	}
+}
+
+// startPool wires a queue and pool around the given runner and registers
+// cleanup.
+func startPool(t *testing.T, workers int, opts Options, runner Runner) (*Queue, *Pool) {
+	t.Helper()
+	q := NewQueue(opts)
+	p := NewPool(q, workers, runner)
+	p.Start()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = p.Shutdown(ctx)
+	})
+	return q, p
+}
+
+// waitState polls until the job reaches the wanted state.
+func waitState(t *testing.T, q *Queue, id string, want State) Status {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st, ok := q.Get(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		if st.State == want {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	st, _ := q.Get(id)
+	t.Fatalf("job %s stuck in %s (want %s): %+v", id, st.State, want, st)
+	return Status{}
+}
+
+func TestJobSucceedsFirstAttempt(t *testing.T) {
+	q, _ := startPool(t, 1, fastOptions(), func(_ context.Context, j *Job) (any, error) {
+		return fmt.Sprintf("ok:%s", j.ID), nil
+	})
+	st, err := q.Submit(Spec{Kind: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, q, st.ID, StateDone)
+	if done.Result != "ok:"+st.ID {
+		t.Fatalf("result = %v", done.Result)
+	}
+	if done.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1", done.Attempts)
+	}
+	if done.StartedAt == nil || done.FinishedAt == nil {
+		t.Fatalf("missing timestamps: %+v", done)
+	}
+}
+
+// TestRetryBackoffOrdering drives a job that fails twice and succeeds on
+// the third attempt, checking the attempt count, the recorded timestamps of
+// each attempt, and that the inter-attempt gaps respect the jittered
+// exponential envelope (base·2^(k−1) scaled into [0.5, 1.5)).
+func TestRetryBackoffOrdering(t *testing.T) {
+	var mu sync.Mutex
+	var starts []time.Time
+	q, _ := startPool(t, 1, fastOptions(), func(_ context.Context, j *Job) (any, error) {
+		mu.Lock()
+		starts = append(starts, time.Now())
+		n := len(starts)
+		mu.Unlock()
+		if n < 3 {
+			return nil, fmt.Errorf("transient %d", n)
+		}
+		return "recovered", nil
+	})
+	st, err := q.Submit(Spec{Kind: "flaky"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, q, st.ID, StateDone)
+	if done.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", done.Attempts)
+	}
+	if done.Result != "recovered" {
+		t.Fatalf("result = %v", done.Result)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(starts) != 3 {
+		t.Fatalf("runner invoked %d times, want 3", len(starts))
+	}
+	opts := fastOptions()
+	for k := 1; k < 3; k++ {
+		gap := starts[k].Sub(starts[k-1])
+		envelope := opts.BackoffBase << (k - 1)
+		minGap := envelope / 2
+		if gap < minGap {
+			t.Errorf("attempt %d started %v after previous, below the %v backoff floor", k+1, gap, minGap)
+		}
+		// Generous ceiling: 1.5x envelope + scheduling slack.
+		if gap > 3*envelope/2+500*time.Millisecond {
+			t.Errorf("attempt %d started %v after previous, above the %v ceiling", k+1, gap, 3*envelope/2)
+		}
+	}
+}
+
+func TestJobFailsAfterMaxAttempts(t *testing.T) {
+	var calls atomic.Int32
+	q, _ := startPool(t, 1, fastOptions(), func(_ context.Context, _ *Job) (any, error) {
+		calls.Add(1)
+		return nil, errors.New("permanent")
+	})
+	st, err := q.Submit(Spec{Kind: "doomed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := waitState(t, q, st.ID, StateFailed)
+	if failed.Attempts != 3 || failed.Error != "permanent" {
+		t.Fatalf("failed = %+v", failed)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("runner invoked %d times, want 3", got)
+	}
+}
+
+// TestDeadlineExpiryWhileRunning sets a deadline shorter than the runner's
+// work; the attempt's context must be canceled and the job must fail
+// terminally (no retry — the deadline covers all attempts).
+func TestDeadlineExpiryWhileRunning(t *testing.T) {
+	var sawCancel atomic.Bool
+	q, _ := startPool(t, 1, fastOptions(), func(ctx context.Context, _ *Job) (any, error) {
+		select {
+		case <-ctx.Done():
+			sawCancel.Store(true)
+			return nil, ctx.Err()
+		case <-time.After(10 * time.Second):
+			return "too late", nil
+		}
+	})
+	st, err := q.Submit(Spec{Kind: "slow", Timeout: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := waitState(t, q, st.ID, StateFailed)
+	if !sawCancel.Load() {
+		t.Fatal("runner context was not canceled at the deadline")
+	}
+	if failed.Attempts != 1 {
+		t.Fatalf("deadline-failed job retried: attempts = %d", failed.Attempts)
+	}
+}
+
+// TestDeadlineExpiryWhileQueued submits a short-deadline job behind a
+// long-running one on a single worker: it must fail without ever running.
+func TestDeadlineExpiryWhileQueued(t *testing.T) {
+	block := make(chan struct{})
+	var ran sync.Map
+	q, _ := startPool(t, 1, fastOptions(), func(ctx context.Context, j *Job) (any, error) {
+		ran.Store(j.ID, true)
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return "done", nil
+	})
+	first, err := q.Submit(Spec{Kind: "blocker"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, q, first.ID, StateRunning)
+	second, err := q.Submit(Spec{Kind: "starved", Timeout: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := waitState(t, q, second.ID, StateFailed)
+	if failed.Attempts != 0 {
+		t.Fatalf("queued-expired job ran: attempts = %d", failed.Attempts)
+	}
+	if _, ok := ran.Load(second.ID); ok {
+		t.Fatal("expired job reached the runner")
+	}
+	close(block)
+	waitState(t, q, first.ID, StateDone)
+}
+
+// TestCancelRunning cancels a job mid-run: the runner's context fires and
+// the job fails as canceled without retrying.
+func TestCancelRunning(t *testing.T) {
+	started := make(chan struct{})
+	q, _ := startPool(t, 1, fastOptions(), func(ctx context.Context, _ *Job) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	st, err := q.Submit(Spec{Kind: "victim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if err := q.Cancel(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	failed := waitState(t, q, st.ID, StateFailed)
+	if failed.Error != "canceled" {
+		t.Fatalf("error = %q, want canceled", failed.Error)
+	}
+	if failed.Attempts != 1 {
+		t.Fatalf("canceled job retried: attempts = %d", failed.Attempts)
+	}
+}
+
+// TestCancelQueued cancels a job before any worker claims it.
+func TestCancelQueued(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	q, _ := startPool(t, 1, fastOptions(), func(ctx context.Context, _ *Job) (any, error) {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return "done", nil
+	})
+	first, _ := q.Submit(Spec{Kind: "blocker"})
+	waitState(t, q, first.ID, StateRunning)
+	second, err := q.Submit(Spec{Kind: "queued"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Cancel(second.ID); err != nil {
+		t.Fatal(err)
+	}
+	failed := waitState(t, q, second.ID, StateFailed)
+	if failed.Attempts != 0 || failed.Error != "canceled" {
+		t.Fatalf("canceled queued job = %+v", failed)
+	}
+}
+
+// TestGracefulDrain verifies Shutdown lets the running job finish and
+// rejects new submissions.
+func TestGracefulDrain(t *testing.T) {
+	release := make(chan struct{})
+	q := NewQueue(fastOptions())
+	p := NewPool(q, 1, func(ctx context.Context, _ *Job) (any, error) {
+		select {
+		case <-release:
+			return "drained", nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+	p.Start()
+	st, err := q.Submit(Spec{Kind: "inflight"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, q, st.ID, StateRunning)
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- p.Shutdown(ctx)
+	}()
+	// Submissions must be rejected once draining.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := q.Submit(Spec{Kind: "late"}); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queue kept accepting submissions during drain")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("drain returned %v, want nil", err)
+	}
+	done, _ := q.Get(st.ID)
+	if done.State != StateDone || done.Result != "drained" {
+		t.Fatalf("in-flight job after drain = %+v", done)
+	}
+}
+
+// TestDrainTimeoutCancelsRunning verifies the hard stop: when the drain
+// context expires, running jobs are canceled and Shutdown returns an error.
+func TestDrainTimeoutCancelsRunning(t *testing.T) {
+	var sawCancel atomic.Bool
+	q := NewQueue(fastOptions())
+	p := NewPool(q, 1, func(ctx context.Context, _ *Job) (any, error) {
+		<-ctx.Done()
+		sawCancel.Store(true)
+		return nil, ctx.Err()
+	})
+	p.Start()
+	st, err := q.Submit(Spec{Kind: "stuck", MaxAttempts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, q, st.ID, StateRunning)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := p.Shutdown(ctx); err == nil {
+		t.Fatal("Shutdown returned nil despite a stuck job")
+	}
+	if !sawCancel.Load() {
+		t.Fatal("stuck job's context was not canceled on hard stop")
+	}
+	failed, _ := q.Get(st.ID)
+	if failed.State != StateFailed {
+		t.Fatalf("stuck job state = %s, want failed", failed.State)
+	}
+}
+
+// TestFIFOOrdering checks single-worker execution order matches submission
+// order.
+func TestFIFOOrdering(t *testing.T) {
+	var mu sync.Mutex
+	var order []string
+	gate := make(chan struct{})
+	q, _ := startPool(t, 1, fastOptions(), func(_ context.Context, j *Job) (any, error) {
+		<-gate
+		mu.Lock()
+		order = append(order, j.ID)
+		mu.Unlock()
+		return nil, nil
+	})
+	var ids []string
+	for i := 0; i < 5; i++ {
+		st, err := q.Submit(Spec{Kind: "seq"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	close(gate)
+	for _, id := range ids {
+		waitState(t, q, id, StateDone)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, id := range ids {
+		if order[i] != id {
+			t.Fatalf("execution order %v, want %v", order, ids)
+		}
+	}
+}
+
+// TestConcurrentWorkers runs many jobs across several workers under -race.
+func TestConcurrentWorkers(t *testing.T) {
+	var done atomic.Int32
+	q, _ := startPool(t, 4, fastOptions(), func(_ context.Context, _ *Job) (any, error) {
+		done.Add(1)
+		return nil, nil
+	})
+	const n = 40
+	var ids []string
+	for i := 0; i < n; i++ {
+		st, err := q.Submit(Spec{Kind: "many"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	for _, id := range ids {
+		waitState(t, q, id, StateDone)
+	}
+	if got := done.Load(); got != n {
+		t.Fatalf("ran %d jobs, want %d", got, n)
+	}
+	queued, running := q.Depth()
+	if queued != 0 || running != 0 {
+		t.Fatalf("depth after completion = (%d, %d)", queued, running)
+	}
+}
+
+// TestQueueCapacity checks the submission bound counts queued and running
+// jobs.
+func TestQueueCapacity(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	opts := fastOptions()
+	opts.Capacity = 2
+	q, _ := startPool(t, 1, opts, func(ctx context.Context, _ *Job) (any, error) {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	})
+	first, _ := q.Submit(Spec{Kind: "a"})
+	waitState(t, q, first.ID, StateRunning)
+	if _, err := q.Submit(Spec{Kind: "b"}); err != nil {
+		t.Fatalf("second submit rejected: %v", err)
+	}
+	if _, err := q.Submit(Spec{Kind: "c"}); err == nil {
+		t.Fatal("third submit accepted beyond capacity")
+	}
+}
+
+// TestRunnerPanicIsAFailedAttempt ensures a panicking runner doesn't kill
+// the worker: the attempt is recorded as failed and retried.
+func TestRunnerPanicIsAFailedAttempt(t *testing.T) {
+	var calls atomic.Int32
+	q, _ := startPool(t, 1, fastOptions(), func(_ context.Context, _ *Job) (any, error) {
+		if calls.Add(1) == 1 {
+			panic("boom")
+		}
+		return "recovered", nil
+	})
+	st, err := q.Submit(Spec{Kind: "panicky"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, q, st.ID, StateDone)
+	if done.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (panic then success)", done.Attempts)
+	}
+}

@@ -1,0 +1,178 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"reveal/internal/obs"
+)
+
+// Runner executes one job attempt. The context is canceled when the job is
+// canceled, its deadline passes, or the pool shuts down hard; runners must
+// honor it promptly (the core stage boundaries already do).
+type Runner func(ctx context.Context, job *Job) (any, error)
+
+// Pool runs queued jobs on a fixed set of workers.
+type Pool struct {
+	queue   *Queue
+	runner  Runner
+	workers int
+
+	mu   sync.Mutex
+	busy int
+
+	stop chan struct{} // closed by Shutdown: stop claiming new jobs
+	kill chan struct{} // closed on drain timeout: cancel running jobs
+	done chan struct{} // closed when every worker has exited
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	killOnce  sync.Once
+}
+
+// NewPool builds a pool of `workers` goroutines (minimum 1) draining queue
+// through runner. Call Start to begin execution.
+func NewPool(queue *Queue, workers int, runner Runner) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{
+		queue:   queue,
+		runner:  runner,
+		workers: workers,
+		stop:    make(chan struct{}),
+		kill:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// Start launches the workers. Safe to call once; later calls are no-ops.
+func (p *Pool) Start() {
+	p.startOnce.Do(func() {
+		obs.Global().Registry().Gauge(MetricWorkersTotal).Set(float64(p.workers))
+		var wg sync.WaitGroup
+		wg.Add(p.workers)
+		for w := 0; w < p.workers; w++ {
+			go func(id int) {
+				defer wg.Done()
+				p.work(id)
+			}(w)
+		}
+		go func() {
+			wg.Wait()
+			close(p.done)
+		}()
+		obs.Log().Info("worker pool started", "workers", p.workers)
+	})
+}
+
+// Shutdown drains the pool: the queue stops accepting submissions, workers
+// stop claiming jobs, and running jobs are allowed to finish until ctx
+// expires — then their contexts are canceled and the shutdown waits for
+// the (now aborting) workers to exit. Returns nil on a clean drain and the
+// ctx error when the hard stop was needed.
+func (p *Pool) Shutdown(ctx context.Context) error {
+	p.queue.stopAccepting()
+	p.stopOnce.Do(func() { close(p.stop) })
+	select {
+	case <-p.done:
+		obs.Log().Info("worker pool drained")
+		return nil
+	case <-ctx.Done():
+	}
+	p.killOnce.Do(func() { close(p.kill) })
+	obs.Log().Warn("worker pool drain timed out, canceling running jobs")
+	<-p.done
+	return fmt.Errorf("jobs: drain timed out: %w", ctx.Err())
+}
+
+// setBusy tracks worker utilization for the /metrics gauges.
+func (p *Pool) setBusy(delta int) {
+	p.mu.Lock()
+	p.busy += delta
+	busy := p.busy
+	p.mu.Unlock()
+	obs.Global().Registry().Gauge(MetricWorkersBusy).Set(float64(busy))
+}
+
+// work is one worker's claim/execute loop.
+func (p *Pool) work(id int) {
+	for {
+		select {
+		case <-p.stop:
+			return
+		default:
+		}
+		now := time.Now()
+		job, wait, wake := p.queue.claim(now)
+		if job == nil {
+			// Nothing eligible: sleep until the next backoff gate expires, a
+			// submission/retry wakes us, or the pool stops.
+			var timer <-chan time.Time
+			var t *time.Timer
+			if wait > 0 {
+				t = time.NewTimer(wait)
+				timer = t.C
+			}
+			select {
+			case <-p.stop:
+			case <-wake:
+			case <-timer:
+			}
+			if t != nil {
+				t.Stop()
+			}
+			continue
+		}
+		p.runOne(id, job)
+	}
+}
+
+// runOne executes a single claimed attempt and reports it back to the
+// queue (which decides done / retry / failed).
+func (p *Pool) runOne(id int, job *Job) {
+	p.setBusy(1)
+	defer p.setBusy(-1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	if !job.Deadline.IsZero() {
+		var dcancel context.CancelFunc
+		ctx, dcancel = context.WithDeadline(ctx, job.Deadline)
+		defer dcancel()
+	}
+	defer cancel()
+	// Publish the cancel hook so Queue.Cancel reaches the running attempt,
+	// and wire the pool's hard-kill switch to it too.
+	p.queue.mu.Lock()
+	job.cancel = cancel
+	alreadyCanceled := job.canceled
+	p.queue.mu.Unlock()
+	if alreadyCanceled {
+		cancel()
+	}
+	go func() {
+		select {
+		case <-p.kill:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+
+	sp := obs.StartSpan("job")
+	sp.AddItems(1)
+	result, err := func() (res any, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("jobs: runner panicked: %v", r)
+			}
+		}()
+		return p.runner(ctx, job)
+	}()
+	sp.End()
+	if err != nil {
+		obs.Log().Debug("job attempt errored", "worker", id, "id", job.ID, "error", err)
+	}
+	p.queue.complete(job, result, err)
+}

@@ -1,0 +1,424 @@
+// Package jobs implements the in-memory campaign job queue and the worker
+// pool that executes jobs for the reveald service: jobs move through the
+// states queued → running → done/failed, with per-job retry (exponential
+// backoff plus deterministic jitter), absolute deadlines, cancellation of
+// both queued and running jobs, and a graceful drain used on SIGTERM.
+// Queue depth and worker utilization are exported as gauges on the global
+// obs registry, so they appear on the existing /metrics endpoint.
+package jobs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"reveal/internal/obs"
+	"reveal/internal/sampler"
+)
+
+// State is a job lifecycle state.
+type State string
+
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Queue metric names (global obs registry).
+const (
+	MetricQueueDepth   = "reveal_jobs_queue_depth"
+	MetricJobsRunning  = "reveal_jobs_running"
+	MetricJobsTotal    = "reveal_jobs_total" // labeled {state="submitted|done|failed|retried"}
+	MetricWorkersTotal = "reveal_workers_total"
+	MetricWorkersBusy  = "reveal_workers_busy"
+)
+
+// Spec describes one job at submission time.
+type Spec struct {
+	// Kind tags the workload (the runner dispatches on it).
+	Kind string
+	// Payload is the opaque job input (e.g. a campaign spec).
+	Payload any
+	// MaxAttempts bounds execution attempts; 0 uses the queue default.
+	MaxAttempts int
+	// Timeout, when positive, sets the job deadline to submission time +
+	// Timeout. The deadline is absolute: it covers queue wait, every
+	// attempt, and every backoff pause.
+	Timeout time.Duration
+}
+
+// Job is one queued campaign. All fields are owned by the queue and must
+// only be read through Snapshot (or inside the runner, which receives the
+// job while it is exclusively running).
+type Job struct {
+	ID          string
+	Kind        string
+	Payload     any
+	State       State
+	Attempts    int
+	MaxAttempts int
+	SubmittedAt time.Time
+	StartedAt   time.Time
+	FinishedAt  time.Time
+	// NotBefore gates retried jobs until their backoff expires.
+	NotBefore time.Time
+	// Deadline, when non-zero, fails the job once passed (queued or
+	// running; a running attempt is canceled through its context).
+	Deadline time.Time
+	Error    string
+	Result   any
+
+	seq      uint64
+	canceled bool
+	cancel   func() // cancels the running attempt's context
+}
+
+// Status is the JSON-safe snapshot of a job served by the HTTP API.
+type Status struct {
+	ID          string     `json:"id"`
+	Kind        string     `json:"kind"`
+	State       State      `json:"state"`
+	Attempts    int        `json:"attempts"`
+	MaxAttempts int        `json:"max_attempts"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	NotBefore   *time.Time `json:"not_before,omitempty"`
+	Deadline    *time.Time `json:"deadline,omitempty"`
+	Error       string     `json:"error,omitempty"`
+	Result      any        `json:"result,omitempty"`
+}
+
+func optTime(t time.Time) *time.Time {
+	if t.IsZero() {
+		return nil
+	}
+	tt := t
+	return &tt
+}
+
+// snapshot copies the job; the queue lock must be held.
+func (j *Job) snapshot() Status {
+	return Status{
+		ID:          j.ID,
+		Kind:        j.Kind,
+		State:       j.State,
+		Attempts:    j.Attempts,
+		MaxAttempts: j.MaxAttempts,
+		SubmittedAt: j.SubmittedAt,
+		StartedAt:   optTime(j.StartedAt),
+		FinishedAt:  optTime(j.FinishedAt),
+		NotBefore:   optTime(j.NotBefore),
+		Deadline:    optTime(j.Deadline),
+		Error:       j.Error,
+		Result:      j.Result,
+	}
+}
+
+// Options configures a Queue.
+type Options struct {
+	// MaxAttempts is the default attempt budget per job (minimum 1).
+	MaxAttempts int
+	// BackoffBase is the first retry delay; attempt k waits
+	// BackoffBase·2^(k−1), scaled by jitter and capped at BackoffMax.
+	BackoffBase time.Duration
+	// BackoffMax caps the backoff delay.
+	BackoffMax time.Duration
+	// JitterSeed seeds the deterministic backoff jitter PRNG.
+	JitterSeed uint64
+	// Capacity bounds queued+running jobs; 0 means unbounded.
+	Capacity int
+}
+
+// DefaultOptions returns the daemon defaults: 3 attempts, 500 ms base
+// backoff capped at 30 s.
+func DefaultOptions() Options {
+	return Options{MaxAttempts: 3, BackoffBase: 500 * time.Millisecond, BackoffMax: 30 * time.Second}
+}
+
+// Queue is the in-memory job queue. Safe for concurrent use.
+type Queue struct {
+	mu      sync.Mutex
+	opts    Options
+	jobs    map[string]*Job
+	byAge   []*Job // submission order (seq ascending), terminal jobs included
+	seq     uint64
+	accept  bool
+	wake    chan struct{}
+	jitter  sampler.PRNG
+	queued  int
+	running int
+}
+
+// NewQueue builds an empty queue.
+func NewQueue(opts Options) *Queue {
+	if opts.MaxAttempts < 1 {
+		opts.MaxAttempts = 1
+	}
+	if opts.BackoffBase <= 0 {
+		opts.BackoffBase = 500 * time.Millisecond
+	}
+	if opts.BackoffMax < opts.BackoffBase {
+		opts.BackoffMax = 30 * time.Second
+	}
+	return &Queue{
+		opts:   opts,
+		jobs:   map[string]*Job{},
+		accept: true,
+		wake:   make(chan struct{}),
+		jitter: sampler.NewXoshiro256(opts.JitterSeed ^ 0x9042),
+	}
+}
+
+// broadcast wakes every waiting worker; q.mu must be held.
+func (q *Queue) broadcast() {
+	close(q.wake)
+	q.wake = make(chan struct{})
+}
+
+func (q *Queue) gauges() {
+	reg := obs.Global().Registry()
+	reg.Gauge(MetricQueueDepth).Set(float64(q.queued))
+	reg.Gauge(MetricJobsRunning).Set(float64(q.running))
+}
+
+func jobsTotal(state string) {
+	obs.Global().Registry().Counter(fmt.Sprintf("%s{state=%q}", MetricJobsTotal, state)).Inc()
+}
+
+// Submit enqueues a job and returns its snapshot.
+func (q *Queue) Submit(spec Spec) (Status, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.accept {
+		return Status{}, fmt.Errorf("jobs: queue is shutting down")
+	}
+	if q.opts.Capacity > 0 && q.queued+q.running >= q.opts.Capacity {
+		return Status{}, fmt.Errorf("jobs: queue full (%d jobs)", q.opts.Capacity)
+	}
+	q.seq++
+	maxAttempts := spec.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = q.opts.MaxAttempts
+	}
+	now := time.Now()
+	j := &Job{
+		ID:          fmt.Sprintf("job-%06d", q.seq),
+		Kind:        spec.Kind,
+		Payload:     spec.Payload,
+		State:       StateQueued,
+		MaxAttempts: maxAttempts,
+		SubmittedAt: now,
+		seq:         q.seq,
+	}
+	if spec.Timeout > 0 {
+		j.Deadline = now.Add(spec.Timeout)
+	}
+	q.jobs[j.ID] = j
+	q.byAge = append(q.byAge, j)
+	q.queued++
+	jobsTotal("submitted")
+	q.gauges()
+	obs.Log().Info("job submitted", "id", j.ID, "kind", j.Kind,
+		"max_attempts", j.MaxAttempts, "queue_depth", q.queued)
+	q.broadcast()
+	return j.snapshot(), nil
+}
+
+// reapLocked fails queued jobs whose deadline has passed. It runs on every
+// queue observation (and inside claim), so expiry does not depend on an
+// idle worker scanning the queue; q.mu must be held.
+func (q *Queue) reapLocked(now time.Time) {
+	for _, j := range q.byAge {
+		if j.State == StateQueued && !j.Deadline.IsZero() && now.After(j.Deadline) {
+			q.finalizeLocked(j, StateFailed, "deadline exceeded while queued")
+		}
+	}
+}
+
+// Get returns a job snapshot.
+func (q *Queue) Get(id string) (Status, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.reapLocked(time.Now())
+	j, ok := q.jobs[id]
+	if !ok {
+		return Status{}, false
+	}
+	return j.snapshot(), true
+}
+
+// List returns every job in submission order.
+func (q *Queue) List() []Status {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.reapLocked(time.Now())
+	out := make([]Status, 0, len(q.byAge))
+	for _, j := range q.byAge {
+		out = append(out, j.snapshot())
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Depth returns (queued, running) counts.
+func (q *Queue) Depth() (queued, running int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.reapLocked(time.Now())
+	return q.queued, q.running
+}
+
+// Cancel aborts a job: a queued job fails immediately, a running job has
+// its context canceled (the worker then marks it failed). Canceling a
+// finished job is a no-op.
+func (q *Queue) Cancel(id string) error {
+	q.mu.Lock()
+	j, ok := q.jobs[id]
+	if !ok {
+		q.mu.Unlock()
+		return fmt.Errorf("jobs: unknown job %s", id)
+	}
+	var cancel func()
+	switch j.State {
+	case StateQueued:
+		j.canceled = true
+		q.finalizeLocked(j, StateFailed, "canceled")
+	case StateRunning:
+		j.canceled = true
+		cancel = j.cancel
+	}
+	q.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return nil
+}
+
+// stopAccepting rejects further submissions (drain mode).
+func (q *Queue) stopAccepting() {
+	q.mu.Lock()
+	q.accept = false
+	q.broadcast()
+	q.mu.Unlock()
+}
+
+// claim hands the oldest eligible queued job to a worker. When no job is
+// eligible it returns the wait until the next backoff gate expires (0 when
+// nothing is pending at all) plus the wake channel to select on. Queued
+// jobs whose deadline has passed are failed during the scan.
+func (q *Queue) claim(now time.Time) (j *Job, wait time.Duration, wake <-chan struct{}) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var next time.Time
+	var best *Job
+	for _, cand := range q.byAge {
+		if cand.State != StateQueued {
+			continue
+		}
+		if !cand.Deadline.IsZero() && now.After(cand.Deadline) {
+			q.finalizeLocked(cand, StateFailed, "deadline exceeded while queued")
+			continue
+		}
+		if cand.NotBefore.After(now) {
+			if next.IsZero() || cand.NotBefore.Before(next) {
+				next = cand.NotBefore
+			}
+			continue
+		}
+		if best == nil || cand.seq < best.seq {
+			best = cand
+		}
+	}
+	if best != nil {
+		best.State = StateRunning
+		best.Attempts++
+		best.StartedAt = now
+		q.queued--
+		q.running++
+		q.gauges()
+		obs.Log().Debug("job claimed", "id", best.ID, "attempt", best.Attempts)
+		return best, 0, nil
+	}
+	if !next.IsZero() {
+		wait = time.Until(next)
+		if wait < time.Millisecond {
+			wait = time.Millisecond
+		}
+	}
+	return nil, wait, q.wake
+}
+
+// finalizeLocked moves a job to a terminal state; q.mu must be held.
+func (q *Queue) finalizeLocked(j *Job, state State, errMsg string) {
+	if j.State == StateQueued {
+		q.queued--
+	} else if j.State == StateRunning {
+		q.running--
+	}
+	j.State = state
+	j.Error = errMsg
+	j.FinishedAt = time.Now()
+	j.cancel = nil
+	j.NotBefore = time.Time{}
+	if state == StateDone {
+		jobsTotal("done")
+	} else {
+		jobsTotal("failed")
+	}
+	q.gauges()
+	obs.Log().Info("job finished", "id", j.ID, "state", string(state),
+		"attempts", j.Attempts, "error", errMsg)
+	q.broadcast()
+}
+
+// backoffLocked computes the jittered exponential backoff for the given
+// attempt number (1-based); q.mu must be held (the jitter PRNG is shared).
+func (q *Queue) backoffLocked(attempt int) time.Duration {
+	d := q.opts.BackoffBase
+	for i := 1; i < attempt && d < q.opts.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > q.opts.BackoffMax {
+		d = q.opts.BackoffMax
+	}
+	// Jitter in [0.5, 1.5): desynchronizes retry herds while keeping the
+	// exponential envelope.
+	return time.Duration(float64(d) * (0.5 + sampler.Float64(q.jitter)))
+}
+
+// complete records one finished attempt: success, retryable failure (back
+// to queued with backoff), or terminal failure (cancellation, deadline, or
+// attempt budget exhausted).
+func (q *Queue) complete(j *Job, result any, err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j.cancel = nil
+	switch {
+	case err == nil:
+		j.Result = result
+		q.finalizeLocked(j, StateDone, "")
+	case j.canceled:
+		q.finalizeLocked(j, StateFailed, "canceled")
+	case !j.Deadline.IsZero() && time.Now().After(j.Deadline):
+		q.finalizeLocked(j, StateFailed, fmt.Sprintf("deadline exceeded: %v", err))
+	case j.Attempts < j.MaxAttempts:
+		backoff := q.backoffLocked(j.Attempts)
+		j.State = StateQueued
+		j.NotBefore = time.Now().Add(backoff)
+		j.Error = err.Error()
+		q.running--
+		q.queued++
+		jobsTotal("retried")
+		q.gauges()
+		obs.Log().Warn("job attempt failed, retrying", "id", j.ID,
+			"attempt", j.Attempts, "max_attempts", j.MaxAttempts,
+			"backoff", backoff, "error", err)
+		q.broadcast()
+	default:
+		q.finalizeLocked(j, StateFailed, err.Error())
+	}
+}

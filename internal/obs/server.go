@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"net"
 	"net/http"
@@ -14,6 +15,10 @@ import (
 //	/progress     JSON per-stage progress (runs, items, quantiles, active)
 //	/healthz      liveness probe: {"status":"ok","uptime_seconds":...}
 //	/debug/pprof  the standard Go profiling endpoints
+//
+// ServeMetricsWith additionally mounts an application handler under /api/
+// on the same listener (used by reveald) without displacing the built-in
+// endpoints above.
 type MetricsServer struct {
 	srv  *http.Server
 	ln   net.Listener
@@ -26,16 +31,45 @@ type progressReport struct {
 	Stages        []StageStats `json:"stages"`
 }
 
+// maxProgressWait bounds the /progress?wait= delay parameter.
+const maxProgressWait = 30 * time.Second
+
 // ServeMetrics starts the live endpoints on addr (e.g. ":9090" or
 // "127.0.0.1:0") backed by the given recorder. It returns once the
 // listener is bound; serving continues in the background until Close.
 func ServeMetrics(rec *Recorder, addr string) (*MetricsServer, error) {
+	return ServeMetricsWith(rec, addr, nil)
+}
+
+// ServeMetricsWith is ServeMetrics with an optional application handler
+// mounted under /api/. The handler sees unstripped paths (it should route
+// /api/... itself); the observability endpoints — /metrics, /progress,
+// /healthz, /debug/pprof — stay owned by the metrics mux, so mounting an
+// API cannot clobber the liveness probe.
+func ServeMetricsWith(rec *Recorder, addr string, api http.Handler) (*MetricsServer, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		_ = rec.Registry().WritePrometheus(w)
 	})
-	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		// ?wait=dur delays the response (bounded): a deterministic hook for
+		// exercising graceful shutdown with a request in flight.
+		if ws := r.URL.Query().Get("wait"); ws != "" {
+			d, err := time.ParseDuration(ws)
+			if err != nil || d < 0 {
+				http.Error(w, "bad wait duration", http.StatusBadRequest)
+				return
+			}
+			if d > maxProgressWait {
+				d = maxProgressWait
+			}
+			select {
+			case <-time.After(d):
+			case <-r.Context().Done():
+				return
+			}
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -56,6 +90,9 @@ func ServeMetrics(rec *Recorder, addr string) (*MetricsServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if api != nil {
+		mux.Handle("/api/", api)
+	}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -89,7 +126,24 @@ func (m *MetricsServer) Addr() string {
 	return m.ln.Addr().String()
 }
 
-// Close stops the server and waits for the serve loop to exit.
+// Shutdown stops accepting connections and waits — up to ctx — for
+// in-flight requests to complete, then waits for the serve loop to exit.
+// Returns the ctx error when the drain deadline was hit.
+func (m *MetricsServer) Shutdown(ctx context.Context) error {
+	if m == nil {
+		return nil
+	}
+	err := m.srv.Shutdown(ctx)
+	if err != nil {
+		// Drain expired: force-close the remaining connections.
+		_ = m.srv.Close()
+	}
+	<-m.done
+	return err
+}
+
+// Close stops the server immediately (no drain) and waits for the serve
+// loop to exit.
 func (m *MetricsServer) Close() {
 	if m == nil {
 		return

@@ -253,11 +253,14 @@ func (t *Templates) Probabilities(tr trace.Trace) (map[int]float64, error) {
 			max = v
 		}
 	}
+	// Accumulate in class order, not map order: float addition is not
+	// associative, so a map-order sum would make repeated classifications of
+	// the same trace differ in the last bits.
 	sum := 0.0
 	out := make(map[int]float64, len(ll))
-	for l, v := range ll {
-		e := math.Exp(v - max)
-		out[l] = e
+	for _, c := range t.classes {
+		e := math.Exp(ll[c.label] - max)
+		out[c.label] = e
 		sum += e
 	}
 	for l := range out {
@@ -273,18 +276,23 @@ func CombineProbabilities(ps ...map[int]float64) map[int]float64 {
 	if len(ps) == 0 {
 		return nil
 	}
+	labels := make([]int, 0, len(ps[0]))
 	out := map[int]float64{}
 	for l, v := range ps[0] {
+		labels = append(labels, l)
 		out[l] = v
 	}
+	sort.Ints(labels)
 	for _, p := range ps[1:] {
 		for l := range out {
 			out[l] *= p[l]
 		}
 	}
+	// Label-order accumulation keeps the normalization deterministic (float
+	// addition is order-sensitive; map order is not).
 	sum := 0.0
-	for _, v := range out {
-		sum += v
+	for _, l := range labels {
+		sum += out[l]
 	}
 	if sum <= 0 {
 		// Degenerate: fall back to uniform over the label set.

@@ -1,0 +1,147 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"reveal/internal/jobs"
+)
+
+// Client is a thin HTTP client for the reveald API, used by
+// `revealctl submit` / `revealctl status` and the end-to-end tests.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:9090".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// NewClient builds a client for the given base URL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues one request and decodes the JSON response into out (skipped
+// when out is nil). Non-2xx responses are returned as errors carrying the
+// server's error payload.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("service: marshaling request: %w", err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		var ae apiError
+		if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
+			return fmt.Errorf("service: %s %s: %s (HTTP %d)", method, path, ae.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("service: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("service: parsing %s response: %w", path, err)
+	}
+	return nil
+}
+
+// Submit posts a campaign spec and returns the accepted job.
+func (c *Client) Submit(ctx context.Context, spec *CampaignSpec) (jobs.Status, error) {
+	var resp submitResponse
+	if err := c.do(ctx, http.MethodPost, "/api/v1/campaigns", spec, &resp); err != nil {
+		return jobs.Status{}, err
+	}
+	return resp.Job, nil
+}
+
+// Campaign fetches one job's status.
+func (c *Client) Campaign(ctx context.Context, id string) (jobs.Status, error) {
+	var st jobs.Status
+	err := c.do(ctx, http.MethodGet, "/api/v1/campaigns/"+id, nil, &st)
+	return st, err
+}
+
+// List fetches every job.
+func (c *Client) List(ctx context.Context) ([]jobs.Status, error) {
+	var resp struct {
+		Jobs []jobs.Status `json:"jobs"`
+	}
+	err := c.do(ctx, http.MethodGet, "/api/v1/campaigns", nil, &resp)
+	return resp.Jobs, err
+}
+
+// Result fetches a finished campaign's result into out (a pointer, e.g.
+// *AttackCampaignResult or *json.RawMessage).
+func (c *Client) Result(ctx context.Context, id string, out any) error {
+	return c.do(ctx, http.MethodGet, "/api/v1/campaigns/"+id+"/result", nil, out)
+}
+
+// Cancel aborts a campaign.
+func (c *Client) Cancel(ctx context.Context, id string) (jobs.Status, error) {
+	var st jobs.Status
+	err := c.do(ctx, http.MethodDelete, "/api/v1/campaigns/"+id, nil, &st)
+	return st, err
+}
+
+// Stats fetches the queue/cache stats.
+func (c *Client) Stats(ctx context.Context) (queued, running, cached int, err error) {
+	var resp statsResponse
+	if err = c.do(ctx, http.MethodGet, "/api/v1/stats", nil, &resp); err != nil {
+		return 0, 0, 0, err
+	}
+	return resp.Queued, resp.Running, resp.CachedTemplates, nil
+}
+
+// WaitDone polls until the job reaches a terminal state or ctx expires.
+func (c *Client) WaitDone(ctx context.Context, id string, poll time.Duration) (jobs.Status, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	for {
+		st, err := c.Campaign(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State == jobs.StateDone || st.State == jobs.StateFailed {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, fmt.Errorf("service: waiting for %s (%s): %w", id, st.State, ctx.Err())
+		case <-time.After(poll):
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"reveal/internal/core"
+	"reveal/internal/jobs"
+	"reveal/internal/obs"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// QueueOptions configures the job queue (zero value → DefaultOptions).
+	QueueOptions jobs.Options
+	// PoolWorkers is how many jobs run concurrently (minimum 1).
+	PoolWorkers int
+	// ClassifyWorkers is the default per-job classification parallelism
+	// (0 → GOMAXPROCS at run time).
+	ClassifyWorkers int
+	// CacheCapacity bounds the template cache (minimum 1).
+	CacheCapacity int
+	// DataDir, when set, receives per-job run directories with manifests.
+	DataDir string
+}
+
+// Server is the campaign service: the queue, the worker pool, the template
+// cache, and the HTTP API over them.
+type Server struct {
+	queue  *jobs.Queue
+	pool   *jobs.Pool
+	cache  *core.TemplateCache
+	runner *Runner
+	mux    *http.ServeMux
+}
+
+// New assembles a Server. Call Start to launch the workers.
+func New(cfg Config) *Server {
+	if cfg.QueueOptions == (jobs.Options{}) {
+		cfg.QueueOptions = jobs.DefaultOptions()
+	}
+	if cfg.PoolWorkers < 1 {
+		cfg.PoolWorkers = 1
+	}
+	if cfg.CacheCapacity < 1 {
+		cfg.CacheCapacity = 4
+	}
+	s := &Server{
+		queue: jobs.NewQueue(cfg.QueueOptions),
+		cache: core.NewTemplateCache(cfg.CacheCapacity),
+	}
+	s.runner = &Runner{Cache: s.cache, Workers: cfg.ClassifyWorkers, DataDir: cfg.DataDir}
+	s.pool = jobs.NewPool(s.queue, cfg.PoolWorkers, s.runner.Run)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /api/v1/campaigns", s.handleSubmit)
+	s.mux.HandleFunc("GET /api/v1/campaigns", s.handleList)
+	s.mux.HandleFunc("GET /api/v1/campaigns/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /api/v1/campaigns/{id}/result", s.handleResult)
+	s.mux.HandleFunc("DELETE /api/v1/campaigns/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /api/v1/stats", s.handleStats)
+	return s
+}
+
+// Start launches the worker pool.
+func (s *Server) Start() { s.pool.Start() }
+
+// Shutdown drains the service: no new submissions, running jobs finish
+// until ctx expires, then they are canceled.
+func (s *Server) Shutdown(ctx context.Context) error { return s.pool.Shutdown(ctx) }
+
+// Handler returns the API handler (routes under /api/v1/). It is mounted
+// by obs.ServeMetricsWith next to /metrics and /healthz.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Queue exposes the underlying queue (used by tests and revealctl-adjacent
+// tooling).
+func (s *Server) Queue() *jobs.Queue { return s.queue }
+
+// apiError is the uniform error payload.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// submitResponse is the POST /campaigns payload.
+type submitResponse struct {
+	Job  jobs.Status   `json:"job"`
+	Spec *CampaignSpec `json:"spec"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec CampaignSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "parsing campaign spec: %v", err)
+		return
+	}
+	if err := spec.Normalize(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	st, err := s.queue.Submit(jobs.Spec{
+		Kind:        spec.Kind,
+		Payload:     &spec,
+		MaxAttempts: spec.MaxAttempts,
+		Timeout:     spec.Timeout(),
+	})
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	obs.Log().Info("campaign accepted", "id", st.ID, "kind", spec.Kind, "seed", spec.Seed)
+	writeJSON(w, http.StatusAccepted, submitResponse{Job: st, Spec: &spec})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.queue.List()})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.queue.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown campaign %s", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.queue.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown campaign %s", r.PathValue("id"))
+		return
+	}
+	switch st.State {
+	case jobs.StateDone:
+		writeJSON(w, http.StatusOK, st.Result)
+	case jobs.StateFailed:
+		writeError(w, http.StatusConflict, "campaign %s failed: %s", st.ID, st.Error)
+	default:
+		writeError(w, http.StatusConflict, "campaign %s is %s", st.ID, st.State)
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.queue.Cancel(id); err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	st, _ := s.queue.Get(id)
+	writeJSON(w, http.StatusOK, st)
+}
+
+// statsResponse is the GET /stats payload.
+type statsResponse struct {
+	Queued          int `json:"queued"`
+	Running         int `json:"running"`
+	CachedTemplates int `json:"cached_templates"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	queued, running := s.queue.Depth()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Queued:          queued,
+		Running:         running,
+		CachedTemplates: s.cache.Len(),
+	})
+}

@@ -1,0 +1,114 @@
+// Package service exposes the attack pipeline as a long-running campaign
+// service: an HTTP/JSON API for submitting campaign specs, polling job
+// status, and fetching results, backed by the internal/jobs queue, a
+// sharded classification worker pool in internal/core, and an LRU template
+// cache so repeated campaigns against the same device configuration skip
+// the profiling stage.
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"reveal/internal/core"
+)
+
+// Campaign kinds accepted by the service.
+const (
+	// KindAttack profiles (or reuses cached templates), captures synthetic
+	// encryptions on a deterministic device, and runs the single-trace
+	// attack on each.
+	KindAttack = "attack"
+	// KindDiagnose runs the leakage assessment (SNR, t-tests, POI overlap,
+	// template health) for the spec's device configuration.
+	KindDiagnose = "diagnose"
+	// KindSleep is a deterministic testing aid: it idles for SleepMS
+	// milliseconds (honoring cancellation) and optionally fails its first
+	// FailAttempts attempts to exercise the retry machinery end to end.
+	KindSleep = "sleep"
+)
+
+// CampaignSpec is the submission payload of POST /api/v1/campaigns.
+type CampaignSpec struct {
+	// Kind selects the campaign type: "attack" (default), "diagnose", or
+	// "sleep".
+	Kind string `json:"kind"`
+	// Seed makes the campaign deterministic end to end (device noise, BFV
+	// keys, plaintexts).
+	Seed uint64 `json:"seed"`
+	// LowNoise selects the favourable measurement setup (and the richer
+	// high-accuracy profiling campaign).
+	LowNoise bool `json:"low_noise"`
+	// ProfileTracesPerValue overrides the profiling campaign scale
+	// (0 keeps the device default).
+	ProfileTracesPerValue int `json:"profile_traces_per_value,omitempty"`
+	// Encryptions is how many single-trace attacks to run (attack kind).
+	Encryptions int `json:"encryptions,omitempty"`
+	// Workers overrides the per-campaign classification worker count
+	// (0 uses the daemon default).
+	Workers int `json:"workers,omitempty"`
+	// KeepProbs embeds the full per-coefficient posterior tables of the
+	// last encryption in the result (large; off by default).
+	KeepProbs bool `json:"keep_probs,omitempty"`
+
+	// MaxAttempts bounds job attempts (0 uses the queue default).
+	MaxAttempts int `json:"max_attempts,omitempty"`
+	// TimeoutMS, when positive, sets the job deadline (queue wait plus all
+	// attempts) in milliseconds.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+
+	// SleepMS and FailAttempts configure the "sleep" testing kind.
+	SleepMS      int `json:"sleep_ms,omitempty"`
+	FailAttempts int `json:"fail_attempts,omitempty"`
+}
+
+// Normalize fills defaults and validates the spec.
+func (s *CampaignSpec) Normalize() error {
+	if s.Kind == "" {
+		s.Kind = KindAttack
+	}
+	switch s.Kind {
+	case KindAttack, KindDiagnose, KindSleep:
+	default:
+		return fmt.Errorf("service: unknown campaign kind %q", s.Kind)
+	}
+	if s.Kind == KindAttack && s.Encryptions <= 0 {
+		s.Encryptions = 1
+	}
+	if s.Encryptions > 1000 {
+		return fmt.Errorf("service: encryptions %d exceeds the per-campaign limit of 1000", s.Encryptions)
+	}
+	if s.ProfileTracesPerValue < 0 || s.Workers < 0 || s.MaxAttempts < 0 ||
+		s.TimeoutMS < 0 || s.SleepMS < 0 || s.FailAttempts < 0 {
+		return fmt.Errorf("service: negative values are not allowed in a campaign spec")
+	}
+	return nil
+}
+
+// Timeout returns the job deadline duration (0 = none).
+func (s *CampaignSpec) Timeout() time.Duration {
+	return time.Duration(s.TimeoutMS) * time.Millisecond
+}
+
+// attackDeviceSalt separates the attack device's PRNG stream from the
+// profiling device's. The profiling device may be skipped entirely on a
+// template-cache hit; a dedicated attack device keeps the captured noise
+// stream — and therefore the campaign result — identical either way.
+const attackDeviceSalt uint64 = 0x5EA1C0DE
+
+// deviceAndOptions builds the spec's profiling device and profile options.
+func (s *CampaignSpec) deviceAndOptions() (*core.Device, core.ProfileOptions) {
+	var dev *core.Device
+	var popts core.ProfileOptions
+	if s.LowNoise {
+		dev = core.NewLowNoiseDevice(s.Seed)
+		popts = core.HighAccuracyProfileOptions()
+	} else {
+		dev = core.NewDevice(s.Seed)
+		popts = core.DefaultProfileOptions()
+	}
+	if s.ProfileTracesPerValue > 0 {
+		popts.TracesPerValue = s.ProfileTracesPerValue
+	}
+	return dev, popts
+}
