@@ -3,6 +3,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -35,46 +36,64 @@ func (m metricTolFlag) Set(s string) error {
 	return nil
 }
 
-// runCompare implements `revealctl compare OLD NEW`: the regression gate.
-// Both arguments are manifest.json or BENCH_*.json files; quality metrics
-// (accuracy, recovery counts) regressing beyond tolerance fail the command
-// with a non-zero exit, which is what CI hangs the gate on.
-func runCompare(args []string) error {
-	fs := flag.NewFlagSet("compare", flag.ExitOnError)
-	tol := fs.Float64("tol", 0.05, "default relative tolerance for gated metrics")
-	gatePerf := fs.Bool("gate-perf", false, "also gate wall-clock metrics (ns_per_op, *_seconds); off by default because they are machine-dependent")
-	jsonOut := fs.Bool("json", false, "print the per-metric deltas as JSON")
-	metricTol := metricTolFlag{}
-	fs.Var(metricTol, "metric-tol", "per-metric tolerance override, name=tolerance (repeatable)")
+// compareConfig is the fully parsed input of one compare invocation.
+type compareConfig struct {
+	Tol       float64
+	GatePerf  bool
+	JSONOut   bool
+	MetricTol metricTolFlag
+	OldPath   string
+	NewPath   string
+}
+
+// parseCompareArgs turns the compare argument list into a compareConfig.
+// Flag errors and usage go to stderr; parsing never exits the process, so
+// the flag plumbing is testable end to end.
+func parseCompareArgs(args []string, stderr io.Writer) (*compareConfig, error) {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cfg := &compareConfig{MetricTol: metricTolFlag{}}
+	fs.Float64Var(&cfg.Tol, "tol", 0.05, "default relative tolerance for gated metrics")
+	fs.BoolVar(&cfg.GatePerf, "gate-perf", false, "also gate wall-clock metrics (ns_per_op, *_seconds); off by default because they are machine-dependent")
+	fs.BoolVar(&cfg.JSONOut, "json", false, "print the per-metric deltas as JSON")
+	fs.Var(cfg.MetricTol, "metric-tol", "per-metric tolerance override, name=tolerance (repeatable)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: revealctl compare [flags] OLD.json NEW.json")
+		fmt.Fprintln(stderr, "usage: revealctl compare [flags] OLD.json NEW.json")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
-		return err
+		return nil, err
 	}
 	if fs.NArg() != 2 {
 		fs.Usage()
-		return fmt.Errorf("compare needs exactly two files, got %d", fs.NArg())
+		return nil, fmt.Errorf("compare needs exactly two files, got %d", fs.NArg())
 	}
-	prev, err := obs.LoadRunMetrics(fs.Arg(0))
+	cfg.OldPath, cfg.NewPath = fs.Arg(0), fs.Arg(1)
+	return cfg, nil
+}
+
+// executeCompare loads both artifacts, diffs them, renders the report to
+// stdout and returns a non-nil error when a gated metric regressed — the
+// exit-1 CI hangs the gate on.
+func executeCompare(cfg *compareConfig, stdout, stderr io.Writer) error {
+	prev, err := obs.LoadRunMetrics(cfg.OldPath)
 	if err != nil {
 		return err
 	}
-	curr, err := obs.LoadRunMetrics(fs.Arg(1))
+	curr, err := obs.LoadRunMetrics(cfg.NewPath)
 	if err != nil {
 		return err
 	}
 	if prev.Kind != curr.Kind {
-		fmt.Fprintf(os.Stderr, "revealctl: warning: comparing a %s against a %s\n", prev.Kind, curr.Kind)
+		fmt.Fprintf(stderr, "revealctl: warning: comparing a %s against a %s\n", prev.Kind, curr.Kind)
 	}
 	deltas, regressed := obs.CompareMetrics(prev, curr, obs.CompareOptions{
-		Tolerance:       *tol,
-		MetricTolerance: metricTol,
-		GatePerf:        *gatePerf,
+		Tolerance:       cfg.Tol,
+		MetricTolerance: cfg.MetricTol,
+		GatePerf:        cfg.GatePerf,
 	})
-	if *jsonOut {
-		if err := experiments.WriteJSON(os.Stdout, struct {
+	if cfg.JSONOut {
+		if err := experiments.WriteJSON(stdout, struct {
 			Old       string            `json:"old"`
 			New       string            `json:"new"`
 			Regressed bool              `json:"regressed"`
@@ -83,14 +102,26 @@ func runCompare(args []string) error {
 			return err
 		}
 	} else {
-		fmt.Printf("comparing %s (%s)\n       vs %s (%s)\n\n", prev.Path, prev.Kind, curr.Path, curr.Kind)
-		fmt.Print(obs.FormatDeltas(deltas))
+		fmt.Fprintf(stdout, "comparing %s (%s)\n       vs %s (%s)\n\n", prev.Path, prev.Kind, curr.Path, curr.Kind)
+		fmt.Fprint(stdout, obs.FormatDeltas(deltas))
 	}
 	if regressed {
-		return fmt.Errorf("regression detected (%s vs %s)", fs.Arg(0), fs.Arg(1))
+		return fmt.Errorf("regression detected (%s vs %s)", cfg.OldPath, cfg.NewPath)
 	}
-	if !*jsonOut {
-		fmt.Println("\nno regressions")
+	if !cfg.JSONOut {
+		fmt.Fprintln(stdout, "\nno regressions")
 	}
 	return nil
+}
+
+// runCompare implements `revealctl compare OLD NEW`: the regression gate.
+// Both arguments are manifest.json or BENCH_*.json files; quality metrics
+// (accuracy, recovery counts) regressing beyond tolerance fail the command
+// with a non-zero exit, which is what CI hangs the gate on.
+func runCompare(args []string) error {
+	cfg, err := parseCompareArgs(args, os.Stderr)
+	if err != nil {
+		return err
+	}
+	return executeCompare(cfg, os.Stdout, os.Stderr)
 }

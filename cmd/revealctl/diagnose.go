@@ -3,6 +3,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -10,39 +11,67 @@ import (
 	"reveal/internal/experiments"
 )
 
+// diagnoseConfig is the fully parsed input of one diagnose invocation:
+// the device preset choice plus the resolved profiling options.
+type diagnoseConfig struct {
+	Seed     uint64
+	LowNoise bool
+	JSONOut  bool
+	Opts     core.DiagnosticsOptions
+}
+
+// newDevice builds the device the parsed configuration selects.
+func (c *diagnoseConfig) newDevice() *core.Device {
+	if c.LowNoise {
+		return core.NewLowNoiseDevice(c.Seed)
+	}
+	return core.NewDevice(c.Seed)
+}
+
+// parseDiagnoseArgs resolves the diagnose flags into a diagnoseConfig:
+// -lownoise selects the low-noise preset, -traces and -maxabs override the
+// preset's campaign size. The returned obsFlags carry the shared
+// observability options. Never exits the process, so the plumbing is
+// testable end to end.
+func parseDiagnoseArgs(args []string, stderr io.Writer) (*diagnoseConfig, *obsFlags, error) {
+	fs := flag.NewFlagSet("diagnose", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cfg := &diagnoseConfig{}
+	fs.Uint64Var(&cfg.Seed, "seed", 1, "device seed")
+	fs.BoolVar(&cfg.LowNoise, "lownoise", false, "assess the low-noise measurement setup")
+	traces := fs.Int("traces", 0, "profiling traces per coefficient value (0 = preset default)")
+	maxAbs := fs.Int("maxabs", 0, "largest |coefficient| to profile (0 = preset default)")
+	fs.BoolVar(&cfg.Opts.KeepCurves, "curves", false, "embed the full SNR and t-test curves in the report")
+	fs.BoolVar(&cfg.JSONOut, "json", false, "print the report as JSON instead of text")
+	ofl := registerObsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return nil, nil, err
+	}
+	if cfg.LowNoise {
+		cfg.Opts.Profile = core.HighAccuracyProfileOptions()
+	} else {
+		cfg.Opts.Profile = core.DefaultProfileOptions()
+	}
+	if *traces > 0 {
+		cfg.Opts.Profile.TracesPerValue = *traces
+	}
+	if *maxAbs > 0 {
+		cfg.Opts.Profile.MaxAbsValue = *maxAbs
+	}
+	return cfg, ofl, nil
+}
+
 // runDiagnose implements `revealctl diagnose`: collect a profiling campaign
 // and assess its leakage (SNR curves, adjacent-pair Welch t-tests, SOSD/SNR
 // POI overlap, template health). With -run-dir the full report is archived
 // as diagnostics.json next to the manifest.
 func runDiagnose(args []string) error {
-	fs := flag.NewFlagSet("diagnose", flag.ExitOnError)
-	seed := fs.Uint64("seed", 1, "device seed")
-	lowNoise := fs.Bool("lownoise", false, "assess the low-noise measurement setup")
-	traces := fs.Int("traces", 0, "profiling traces per coefficient value (0 = preset default)")
-	maxAbs := fs.Int("maxabs", 0, "largest |coefficient| to profile (0 = preset default)")
-	curves := fs.Bool("curves", false, "embed the full SNR and t-test curves in the report")
-	jsonOut := fs.Bool("json", false, "print the report as JSON instead of text")
-	ofl := registerObsFlags(fs)
-	if err := fs.Parse(args); err != nil {
+	cfg, ofl, err := parseDiagnoseArgs(args, os.Stderr)
+	if err != nil {
 		return err
 	}
-	var dev *core.Device
-	var popts core.ProfileOptions
-	if *lowNoise {
-		dev = core.NewLowNoiseDevice(*seed)
-		popts = core.HighAccuracyProfileOptions()
-	} else {
-		dev = core.NewDevice(*seed)
-		popts = core.DefaultProfileOptions()
-	}
-	if *traces > 0 {
-		popts.TracesPerValue = *traces
-	}
-	if *maxAbs > 0 {
-		popts.MaxAbsValue = *maxAbs
-	}
-	opts := core.DiagnosticsOptions{Profile: popts, KeepCurves: *curves}
-	camp, err := ofl.start("diagnose", args, *seed, opts)
+	dev := cfg.newDevice()
+	camp, err := ofl.start("diagnose", args, cfg.Seed, cfg.Opts)
 	if err != nil {
 		return err
 	}
@@ -51,11 +80,11 @@ func runDiagnose(args []string) error {
 			fmt.Fprintln(os.Stderr, "revealctl: finishing run:", err)
 		}
 	}()
-	if !*jsonOut {
+	if !cfg.JSONOut {
 		fmt.Printf("collecting profiling campaign (%d traces per value, %d values)...\n",
-			popts.TracesPerValue, 2*popts.MaxAbsValue+1)
+			cfg.Opts.Profile.TracesPerValue, 2*cfg.Opts.Profile.MaxAbsValue+1)
 	}
-	report, err := core.Diagnose(dev, opts)
+	report, err := core.Diagnose(dev, cfg.Opts)
 	if err != nil {
 		return err
 	}
@@ -76,7 +105,7 @@ func runDiagnose(args []string) error {
 			return fmt.Errorf("writing diagnostics.json: %w", err)
 		}
 	}
-	if *jsonOut {
+	if cfg.JSONOut {
 		return experiments.WriteJSON(os.Stdout, report)
 	}
 	fmt.Print(core.FormatDiagnostics(report))

@@ -12,6 +12,7 @@
 //	revealctl compare [-tol T] [-metric-tol name=T] [-gate-perf] OLD NEW
 //	revealctl submit [-addr URL] [-spec FILE | -kind K -seed S ...] [-wait]
 //	revealctl status [-addr URL] [-id ID] [-result] [-json]
+//	revealctl selftest [-seed S] [-workers N] [-json] [-q]
 //
 // Every subcommand accepts the observability flags:
 //
@@ -56,6 +57,8 @@ func main() {
 		err = runSubmit(os.Args[2:])
 	case "status":
 		err = runStatus(os.Args[2:])
+	case "selftest":
+		err = runSelftest(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -78,6 +81,7 @@ commands:
   compare  diff two manifest.json/BENCH_*.json files; exit 1 on regression
   submit   post a campaign spec to a running reveald daemon
   status   list a reveald daemon's jobs or show one job's status/result
+  selftest replay-determinism gate: serial vs parallel attack, digest printed
 
 observability (all commands):
   -run-dir DIR        write manifest.json, metrics.txt, run.log

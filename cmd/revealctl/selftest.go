@@ -1,0 +1,48 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"reveal/internal/core"
+	"reveal/internal/experiments"
+)
+
+// runSelftest implements `revealctl selftest`: the replay-determinism gate
+// of internal/core run from the command line. The printed digest line is
+// stable across processes for a given seed/worker count, so CI (and
+// operators) can run the command twice and diff the output to prove
+// fresh-process determinism on top of the in-process serial/parallel check.
+func runSelftest(args []string) error {
+	fs := flag.NewFlagSet("selftest", flag.ExitOnError)
+	seed := fs.Uint64("seed", 1, "selftest pipeline seed")
+	workers := fs.Int("workers", 4, "worker count for the parallel pass (minimum 2)")
+	jsonOut := fs.Bool("json", false, "print the report as JSON")
+	quiet := fs.Bool("q", false, "print only the digest line")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	report, err := core.Selftest(context.Background(), *seed, *workers)
+	if err != nil {
+		if report != nil && !report.Match {
+			fmt.Fprintf(os.Stderr, "serial digest:   %s\nparallel digest: %s\n",
+				report.SerialDigest, report.ParallelDigest)
+		}
+		return err
+	}
+	if *jsonOut {
+		return experiments.WriteJSON(os.Stdout, report)
+	}
+	if !*quiet {
+		fmt.Printf("selftest PASS (seed=%d, workers=%d)\n", report.Seed, report.Workers)
+		fmt.Printf("  serial == parallel: %v\n", report.Match)
+		fmt.Printf("  e2 value accuracy:  %.2f%%, sign accuracy %.2f%%\n",
+			100*report.ValueAccuracy, 100*report.SignAccuracy)
+		fmt.Printf("  security estimate:  %.2f bikz baseline -> %.2f bikz with hints\n",
+			report.BaselineBikz, report.HintedBikz)
+	}
+	fmt.Printf("selftest digest: %s\n", report.Digest())
+	return nil
+}

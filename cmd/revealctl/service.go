@@ -13,11 +13,24 @@ import (
 	"reveal/internal/service"
 )
 
-// runSubmit implements `revealctl submit`: post a campaign spec to a
-// running reveald and optionally wait for the result.
-func runSubmit(args []string) error {
-	fs := flag.NewFlagSet("submit", flag.ExitOnError)
-	addr := fs.String("addr", "http://127.0.0.1:9090", "reveald base URL")
+// submitConfig is the fully parsed input of one submit invocation: the
+// normalized campaign spec plus the delivery options.
+type submitConfig struct {
+	Addr string
+	Spec service.CampaignSpec
+	Wait bool
+	Poll time.Duration
+}
+
+// parseSubmitArgs turns the submit argument list into a normalized
+// submitConfig. -spec FILE (or "-" for stdin) replaces the inline flags;
+// either path ends with spec.Normalize so an invalid kind or bound fails
+// here, before any network traffic. stdin is injected for testability.
+func parseSubmitArgs(args []string, stdin io.Reader, stderr io.Writer) (*submitConfig, error) {
+	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cfg := &submitConfig{}
+	fs.StringVar(&cfg.Addr, "addr", "http://127.0.0.1:9090", "reveald base URL")
 	specPath := fs.String("spec", "", "campaign spec JSON file (- for stdin); inline flags below are ignored when set")
 	kind := fs.String("kind", "attack", "campaign kind: attack, diagnose, sleep")
 	seed := fs.Uint64("seed", 1, "campaign seed")
@@ -27,29 +40,28 @@ func runSubmit(args []string) error {
 	workers := fs.Int("workers", 0, "classification goroutines (0 = daemon default)")
 	attempts := fs.Int("attempts", 0, "job attempt budget (0 = daemon default)")
 	timeout := fs.Duration("timeout", 0, "job deadline covering queue wait and retries (0 = none)")
-	wait := fs.Bool("wait", false, "poll until the campaign finishes and print its result")
-	poll := fs.Duration("poll", 500*time.Millisecond, "poll interval with -wait")
+	fs.BoolVar(&cfg.Wait, "wait", false, "poll until the campaign finishes and print its result")
+	fs.DurationVar(&cfg.Poll, "poll", 500*time.Millisecond, "poll interval with -wait")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return nil, err
 	}
 
-	var spec service.CampaignSpec
 	if *specPath != "" {
 		var data []byte
 		var err error
 		if *specPath == "-" {
-			data, err = readAll(os.Stdin)
+			data, err = io.ReadAll(stdin)
 		} else {
 			data, err = os.ReadFile(*specPath)
 		}
 		if err != nil {
-			return err
+			return nil, err
 		}
-		if err := json.Unmarshal(data, &spec); err != nil {
-			return fmt.Errorf("parsing %s: %w", *specPath, err)
+		if err := json.Unmarshal(data, &cfg.Spec); err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", *specPath, err)
 		}
 	} else {
-		spec = service.CampaignSpec{
+		cfg.Spec = service.CampaignSpec{
 			Kind:                  *kind,
 			Seed:                  *seed,
 			LowNoise:              *lowNoise,
@@ -60,22 +72,33 @@ func runSubmit(args []string) error {
 			TimeoutMS:             int(timeout.Milliseconds()),
 		}
 	}
-	if err := spec.Normalize(); err != nil {
+	if err := cfg.Spec.Normalize(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// runSubmit implements `revealctl submit`: post a campaign spec to a
+// running reveald and optionally wait for the result.
+func runSubmit(args []string) error {
+	cfg, err := parseSubmitArgs(args, os.Stdin, os.Stderr)
+	if err != nil {
 		return err
 	}
+	spec := cfg.Spec
 
 	ctx := context.Background()
-	client := service.NewClient(*addr)
+	client := service.NewClient(cfg.Addr)
 	st, err := client.Submit(ctx, &spec)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("submitted %s (%s, seed %d): %s\n", st.ID, st.Kind, spec.Seed, st.State)
-	if !*wait {
-		fmt.Printf("poll with: revealctl status -addr %s -id %s\n", *addr, st.ID)
+	if !cfg.Wait {
+		fmt.Printf("poll with: revealctl status -addr %s -id %s\n", cfg.Addr, st.ID)
 		return nil
 	}
-	st, err = client.WaitDone(ctx, st.ID, *poll)
+	st, err = client.WaitDone(ctx, st.ID, cfg.Poll)
 	if err != nil {
 		return err
 	}
@@ -163,5 +186,3 @@ func printJSON(v any) error {
 	enc.SetIndent("", "  ")
 	return enc.Encode(v)
 }
-
-func readAll(f *os.File) ([]byte, error) { return io.ReadAll(f) }

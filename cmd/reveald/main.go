@@ -9,7 +9,11 @@
 //
 //	reveald [-addr :9090] [-workers N] [-classify-workers N] [-queue N]
 //	        [-cache N] [-retries N] [-backoff DUR] [-data-dir DIR]
-//	        [-drain-timeout DUR] [-log-level LEVEL] [-log-json]
+//	        [-drain-timeout DUR] [-log-level LEVEL] [-log-json] [-selftest]
+//
+// With -selftest the daemon first runs the replay-determinism gate
+// (internal/core.Selftest) and refuses to serve if the serial and parallel
+// attack paths are not byte-identical.
 //
 // Endpoints (all on -addr):
 //
@@ -34,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"reveal/internal/core"
 	"reveal/internal/jobs"
 	"reveal/internal/obs"
 	"reveal/internal/service"
@@ -59,6 +64,7 @@ func run(args []string) error {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long to let running jobs finish on shutdown")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
 	logJSON := fs.Bool("log-json", false, "emit JSON log records")
+	selftest := fs.Bool("selftest", false, "run the replay-determinism gate before serving; exit nonzero on failure")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -69,6 +75,17 @@ func run(args []string) error {
 		}),
 	})
 	obs.SetGlobal(rec)
+
+	if *selftest {
+		report, err := core.Selftest(context.Background(), 1, *classifyWorkers)
+		if err != nil {
+			return fmt.Errorf("startup selftest: %w", err)
+		}
+		obs.Log().Info("startup selftest passed",
+			"digest", report.Digest(),
+			"value_accuracy", report.ValueAccuracy,
+			"hinted_bikz", report.HintedBikz)
+	}
 
 	svc := service.New(service.Config{
 		QueueOptions: jobs.Options{

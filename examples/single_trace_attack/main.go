@@ -10,6 +10,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -19,10 +20,24 @@ import (
 )
 
 func main() {
+	quick := flag.Bool("quick", false,
+		"run at toy scale (n=64) with a reduced profiling campaign; used by the repo's smoke test")
+	flag.Parse()
+
 	fmt.Println("== RevEAL: single-trace attack on BFV encryption ==")
 
-	// The victim: SEAL v3.2 defaults for n=1024 (128-bit security).
+	// The victim: SEAL v3.2 defaults for n=1024 (128-bit security). Quick
+	// mode shrinks only the ring dimension — same modulus, same sampler —
+	// so the pipeline is identical, just 16x fewer coefficients.
 	params := bfv.PaperParameters()
+	if *quick {
+		var err error
+		params, err = bfv.NewParameters(64, []uint64{bfv.PaperQ}, 256,
+			sampler.DefaultSigma, sampler.DefaultMaxDeviation)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 	prng := sampler.NewXoshiro256(99)
 	kg := bfv.NewKeyGenerator(params, prng)
 	sk := kg.GenSecretKey()
@@ -33,7 +48,11 @@ func main() {
 	// The adversary: physical access, profiling capability (§II-B).
 	dev := core.NewLowNoiseDevice(7)
 	fmt.Println("[1/4] profiling the device (template building)...")
-	cls, err := core.Profile(dev, core.HighAccuracyProfileOptions())
+	popts := core.HighAccuracyProfileOptions()
+	if *quick {
+		popts.TracesPerValue = 60
+	}
+	cls, err := core.Profile(dev, popts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -82,5 +101,5 @@ func main() {
 			break
 		}
 	}
-	fmt.Println("      full 1024-coefficient message identical:", match)
+	fmt.Printf("      full %d-coefficient message identical: %v\n", params.N, match)
 }

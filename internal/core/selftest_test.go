@@ -1,0 +1,86 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"reveal/internal/obs"
+)
+
+func TestSelftestPasses(t *testing.T) {
+	report, err := Selftest(context.Background(), 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Match {
+		t.Fatalf("serial %s != parallel %s", report.SerialDigest, report.ParallelDigest)
+	}
+	if report.SerialDigest == "" || len(report.SerialDigest) != 64 {
+		t.Fatalf("bad digest %q", report.SerialDigest)
+	}
+	if report.ValueAccuracy <= 0 || report.SignAccuracy <= 0 {
+		t.Fatalf("degenerate accuracies: value %.2f sign %.2f",
+			report.ValueAccuracy, report.SignAccuracy)
+	}
+	// At the gate's toy scale (n=64, q=12289) both estimates clamp to the
+	// estimator's beta floor, so require monotonicity, not strict reduction.
+	if report.HintedBikz > report.BaselineBikz {
+		t.Fatalf("hints increased hardness: baseline %.2f, hinted %.2f",
+			report.BaselineBikz, report.HintedBikz)
+	}
+	if len(report.Digest()) != 64 {
+		t.Fatalf("combined digest %q", report.Digest())
+	}
+}
+
+// TestSelftestReplayStable: the gate itself must be replay-deterministic —
+// two complete executions in the same process produce the same digest, and
+// different seeds produce different ones.
+func TestSelftestReplayStable(t *testing.T) {
+	a, err := Selftest(context.Background(), 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Selftest(context.Background(), 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatalf("same seed, different digests: %s vs %s", a.Digest(), b.Digest())
+	}
+	c, err := Selftest(context.Background(), 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Digest() == a.Digest() {
+		t.Fatal("different seeds produced the same digest")
+	}
+}
+
+// TestSelftestRestoresGlobalRecorder: the gate must not leak its private
+// recorder into the process-global slot, whatever was there before.
+func TestSelftestRestoresGlobalRecorder(t *testing.T) {
+	prev := obs.Global()
+	mine := obs.New(obs.Options{})
+	obs.SetGlobal(mine)
+	defer obs.SetGlobal(prev)
+	if _, err := Selftest(context.Background(), 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if obs.Global() != mine {
+		t.Fatal("Selftest replaced the global recorder")
+	}
+}
+
+func TestSelftestHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Selftest(ctx, 1, 2)
+	if err == nil {
+		t.Fatal("canceled selftest succeeded")
+	}
+	if !strings.Contains(err.Error(), "cancel") && !strings.Contains(err.Error(), "context") {
+		t.Fatalf("unexpected error for canceled context: %v", err)
+	}
+}

@@ -28,6 +28,13 @@ func LoadRunMetrics(path string) (*RunMetrics, error) {
 	if err != nil {
 		return nil, err
 	}
+	return ParseRunMetrics(path, data)
+}
+
+// ParseRunMetrics flattens an already-read run artifact; path is used only
+// for labeling. Split from LoadRunMetrics so the parser can be fuzzed
+// without a filesystem.
+func ParseRunMetrics(path string, data []byte) (*RunMetrics, error) {
 	var doc map[string]any
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return nil, fmt.Errorf("obs: parsing %s: %w", path, err)

@@ -1,0 +1,47 @@
+package obs
+
+// FuzzParseRunMetrics: the flattener behind the `revealctl compare`
+// regression gate must never panic on adversarial JSON, and everything it
+// accepts must contain only finite, well-named metrics.
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzParseRunMetrics(f *testing.F) {
+	f.Add([]byte(`{"ns_per_op": 120.5, "items_per_second": 800, "iterations": 3, "metrics": {"accuracy": 0.96}}`))
+	f.Add([]byte(`{"duration_seconds": 1.25, "results": {"mean_value_accuracy": 0.9, "nested": {"bikz": 128}}}`))
+	f.Add([]byte(`{"results": {"flag": true}, "stages": [{"stage": "classify", "items_per_second": 5000}]}`))
+	f.Add([]byte(`{"stages": [{"stage": "profile"}, 42, null]}`))
+	f.Add([]byte(`{"results": {"deep": {"deeper": {"deepest": 1e308}}}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"ns_per_op": "not a number"}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rm, err := ParseRunMetrics("fuzz.json", data)
+		if err != nil {
+			return
+		}
+		if rm.Kind != "manifest" && rm.Kind != "bench" {
+			t.Fatalf("accepted artifact with kind %q", rm.Kind)
+		}
+		if len(rm.Values) == 0 {
+			t.Fatal("accepted artifact with no metrics")
+		}
+		for name, v := range rm.Values {
+			if name == "" {
+				t.Fatal("empty metric name")
+			}
+			if strings.HasPrefix(name, ".") || strings.HasSuffix(name, ".") {
+				t.Fatalf("malformed metric name %q", name)
+			}
+			// JSON numbers are finite by construction; the flattener must
+			// not manufacture NaN/Inf out of them.
+			if v != v {
+				t.Fatalf("metric %q is NaN", name)
+			}
+		}
+	})
+}

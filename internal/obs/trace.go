@@ -174,10 +174,20 @@ func RecordCoeff(ev CoeffEvent) { Global().RecordCoeff(ev) }
 // and the 1-based rank of trueValue (len(posterior)+1 when the true value
 // is not a candidate).
 func PosteriorStats(probs map[int]float64, trueValue int) (margin, entropyBits float64, rank int) {
+	// Iterate candidates in sorted-key order, not map order: the entropy
+	// accumulation is a float sum, and summation order must not depend on
+	// Go's randomized map iteration or the journal loses bitwise replay
+	// determinism.
+	keys := make([]int, 0, len(probs))
+	for k := range probs {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
 	top1, top2 := math.Inf(-1), math.Inf(-1)
 	pTrue, hasTrue := probs[trueValue]
 	rank = 1
-	for _, p := range probs {
+	for _, k := range keys {
+		p := probs[k]
 		if p > top1 {
 			top1, top2 = p, top1
 		} else if p > top2 {

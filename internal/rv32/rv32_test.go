@@ -3,7 +3,6 @@ package rv32
 import (
 	"strings"
 	"testing"
-	"testing/quick"
 )
 
 func assembleRun(t *testing.T, src string, maxInstrs int) *CPU {
@@ -649,26 +648,10 @@ func TestDisasmImageHandlesData(t *testing.T) {
 	}
 }
 
-// Fuzz the decoder: arbitrary words must either decode to a well-formed
-// instruction or return an error — never panic, never produce an unknown Op.
+// Smoke wrapper around the shared decode property (see fuzz_test.go); the
+// native FuzzDecode target explores the same invariant coverage-guided.
 func TestDecodeFuzzQuick(t *testing.T) {
-	prop := func(word uint32) bool {
-		in, err := Decode(word)
-		if err != nil {
-			return true
-		}
-		if in.Op == OpInvalid {
-			return false
-		}
-		if in.Rd < 0 || in.Rd > 31 || in.Rs1 < 0 || in.Rs1 > 31 || in.Rs2 < 0 || in.Rs2 > 31 {
-			return false
-		}
-		// Disassembly of any decoded instruction must not panic.
-		_ = in.Disasm()
-		_ = in.DisasmAt(0x1000)
-		return true
-	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+	if err := quickDecodeSmoke(5000); err != nil {
 		t.Error(err)
 	}
 }

@@ -1,0 +1,102 @@
+package sca_test
+
+// FuzzTemplateScore: template scoring on adversarial traces — arbitrary
+// float patterns including NaN, ±Inf and huge magnitudes — must never
+// panic, and for plausibly-scaled finite inputs must return a normalized
+// posterior over exactly the trained labels.
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+	"testing"
+
+	"reveal/internal/sca"
+	"reveal/internal/testkit"
+	"reveal/internal/trace"
+)
+
+var fuzzTemplates struct {
+	once sync.Once
+	tpl  *sca.Templates
+	err  error
+}
+
+func fuzzTpl() (*sca.Templates, error) {
+	fuzzTemplates.once.Do(func() {
+		r := testkit.NewRNG(71)
+		set := synthSet(r, 30, 40)
+		opts := sca.DefaultTemplateOptions()
+		opts.POICount = 8
+		fuzzTemplates.tpl, fuzzTemplates.err = sca.BuildTemplates(set, opts)
+	})
+	return fuzzTemplates.tpl, fuzzTemplates.err
+}
+
+// samplesFromBytes reinterprets fuzz bytes as float64 samples, padded to
+// the trace length the templates were trained on.
+func samplesFromBytes(data []byte, length int) trace.Trace {
+	tr := make(trace.Trace, length)
+	for i := 0; i < length; i++ {
+		if (i+1)*8 <= len(data) {
+			tr[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+		}
+	}
+	return tr
+}
+
+func FuzzTemplateScore(f *testing.F) {
+	mk := func(vals ...float64) []byte {
+		out := make([]byte, 8*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+		}
+		return out
+	}
+	f.Add(mk(0, 0.5, -0.5, 1, -1))
+	f.Add(mk(math.NaN(), math.Inf(1), math.Inf(-1)))
+	f.Add(mk(1e308, -1e308, 1e-308))
+	f.Add(mk())
+	f.Add([]byte{1, 2, 3}) // not even one float
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tpl, err := fuzzTpl()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := samplesFromBytes(data, 40)
+		probs, err := tpl.Probabilities(tr)
+		if err != nil {
+			return
+		}
+		labels := tpl.Labels()
+		if len(probs) != len(labels) {
+			t.Fatalf("posterior over %d classes, trained %d", len(probs), len(labels))
+		}
+		wellScaled := true
+		for _, v := range tr {
+			if math.IsNaN(v) || math.Abs(v) > 1e6 {
+				wellScaled = false
+				break
+			}
+		}
+		if !wellScaled {
+			return // only the no-panic guarantee applies
+		}
+		sum := 0.0
+		for _, l := range labels {
+			p := probs[l]
+			if math.IsNaN(p) || p < 0 || p > 1 {
+				t.Fatalf("posterior[%d] = %v for finite input", l, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("posterior sums to %v for finite input", sum)
+		}
+		// Classify must agree with the posterior argmax's existence (no
+		// error once Probabilities succeeded).
+		if _, err := tpl.Classify(tr); err != nil {
+			t.Fatalf("Classify failed after Probabilities succeeded: %v", err)
+		}
+	})
+}

@@ -1,0 +1,161 @@
+package sca_test
+
+// Property-based tests of the template-attack posterior math: softmax
+// normalization, combination, and bitwise determinism — the invariants the
+// replay gate and the paper's probability-ranked key repair rely on.
+
+import (
+	"math"
+	"testing"
+
+	"reveal/internal/sca"
+	"reveal/internal/testkit"
+	"reveal/internal/trace"
+)
+
+// synthSet builds a labeled set of three well-separated classes with mild
+// seeded Gaussian-ish noise.
+func synthSet(r *testkit.RNG, perClass, length int) *trace.Set {
+	set := &trace.Set{}
+	for label := -1; label <= 1; label++ {
+		for k := 0; k < perClass; k++ {
+			tr := make(trace.Trace, length)
+			for i := range tr {
+				base := float64(label) * math.Sin(float64(i)/3)
+				tr[i] = base + 0.1*(r.Float64()-0.5)
+			}
+			set.Append(tr, label)
+		}
+	}
+	return set
+}
+
+func buildSynthTemplates(t *testing.T, r *testkit.RNG) *sca.Templates {
+	t.Helper()
+	set := synthSet(r, 30, 40)
+	opts := sca.DefaultTemplateOptions()
+	opts.POICount = 8
+	tpl, err := sca.BuildTemplates(set, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tpl
+}
+
+func TestProbabilitiesNormalized(t *testing.T) {
+	r := testkit.NewRNG(61)
+	tpl := buildSynthTemplates(t, r)
+	labels := tpl.Labels()
+	for iter := 0; iter < 50; iter++ {
+		tr := make(trace.Trace, 40)
+		for i := range tr {
+			tr[i] = 4 * (r.Float64() - 0.5) // arbitrary, not class-shaped
+		}
+		probs, err := tpl.Probabilities(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(probs) != len(labels) {
+			t.Fatalf("posterior has %d classes, templates have %d", len(probs), len(labels))
+		}
+		sum := 0.0
+		for _, l := range labels {
+			p, ok := probs[l]
+			if !ok {
+				t.Fatalf("posterior missing label %d", l)
+			}
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				t.Fatalf("posterior[%d] = %v", l, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("posterior sums to %v", sum)
+		}
+	}
+}
+
+// TestProbabilitiesBitwiseDeterministic: scoring the same trace twice must
+// give bit-identical posteriors — the invariant PR 3's map-order fix
+// established and the replay-determinism gate depends on.
+func TestProbabilitiesBitwiseDeterministic(t *testing.T) {
+	r := testkit.NewRNG(62)
+	tpl := buildSynthTemplates(t, r)
+	tr := make(trace.Trace, 40)
+	for i := range tr {
+		tr[i] = 2 * (r.Float64() - 0.5)
+	}
+	first, err := tpl.Probabilities(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 20; rep++ {
+		again, err := tpl.Probabilities(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for l, p := range first {
+			if math.Float64bits(again[l]) != math.Float64bits(p) {
+				t.Fatalf("rep %d label %d: %x != %x", rep, l,
+					math.Float64bits(again[l]), math.Float64bits(p))
+			}
+		}
+	}
+}
+
+func TestClassifyRecoversClassShape(t *testing.T) {
+	r := testkit.NewRNG(63)
+	tpl := buildSynthTemplates(t, r)
+	for label := -1; label <= 1; label++ {
+		tr := make(trace.Trace, 40)
+		for i := range tr {
+			tr[i] = float64(label) * math.Sin(float64(i)/3)
+		}
+		got, err := tpl.Classify(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != label {
+			t.Errorf("noiseless class-%d trace classified as %d", label, got)
+		}
+	}
+}
+
+func TestCombineProbabilitiesProperties(t *testing.T) {
+	labels := []int{-1, 0, 1}
+	p := map[int]float64{-1: 0.2, 0: 0.5, 1: 0.3}
+	uniform := map[int]float64{-1: 1.0 / 3, 0: 1.0 / 3, 1: 1.0 / 3}
+
+	// Combining with the uniform posterior must be the identity.
+	got := sca.CombineProbabilities(p, uniform)
+	for _, l := range labels {
+		if math.Abs(got[l]-p[l]) > 1e-12 {
+			t.Fatalf("uniform combine changed label %d: %v -> %v", l, p[l], got[l])
+		}
+	}
+
+	// Self-combination squares and renormalizes.
+	got = sca.CombineProbabilities(p, p)
+	z := 0.04 + 0.25 + 0.09
+	want := map[int]float64{-1: 0.04 / z, 0: 0.25 / z, 1: 0.09 / z}
+	sum := 0.0
+	for _, l := range labels {
+		if math.Abs(got[l]-want[l]) > 1e-12 {
+			t.Fatalf("self-combine label %d: %v, want %v", l, got[l], want[l])
+		}
+		sum += got[l]
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("combined posterior sums to %v", sum)
+	}
+
+	// A zero product must fall back to uniform, not NaN.
+	a := map[int]float64{-1: 1, 0: 0, 1: 0}
+	b := map[int]float64{-1: 0, 0: 1, 1: 0}
+	got = sca.CombineProbabilities(a, b)
+	for _, l := range labels {
+		if math.Abs(got[l]-1.0/3) > 1e-12 {
+			t.Fatalf("degenerate combine label %d: %v, want 1/3", l, got[l])
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package testkit
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// This file holds the slow math/big reference implementations the fast
+// uint64 arithmetic in internal/modular and internal/ring is differentially
+// tested against. Everything here favors obviousness over speed: direct
+// big.Int formulas, schoolbook convolution, no precomputation.
+
+// RefAddMod returns (a + b) mod q via math/big.
+func RefAddMod(a, b, q uint64) uint64 {
+	s := new(big.Int).Add(bi(a), bi(b))
+	return s.Mod(s, bi(q)).Uint64()
+}
+
+// RefSubMod returns (a - b) mod q via math/big.
+func RefSubMod(a, b, q uint64) uint64 {
+	s := new(big.Int).Sub(bi(a), bi(b))
+	return s.Mod(s, bi(q)).Uint64()
+}
+
+// RefMulMod returns (a * b) mod q via math/big.
+func RefMulMod(a, b, q uint64) uint64 {
+	s := new(big.Int).Mul(bi(a), bi(b))
+	return s.Mod(s, bi(q)).Uint64()
+}
+
+// RefExpMod returns a^e mod q via math/big.
+func RefExpMod(a, e, q uint64) uint64 {
+	return new(big.Int).Exp(bi(a), bi(e), bi(q)).Uint64()
+}
+
+// RefInverse returns a^-1 mod q and whether it exists, via math/big.
+func RefInverse(a, q uint64) (uint64, bool) {
+	if q == 0 {
+		return 0, false
+	}
+	inv := new(big.Int).ModInverse(bi(a), bi(q))
+	if inv == nil {
+		return 0, false
+	}
+	return inv.Uint64(), true
+}
+
+// RefNegacyclicMul returns a*b in Z_q[x]/(x^n+1) by schoolbook convolution
+// with big.Int accumulators — the reference the NTT-based ring.MulPoly is
+// checked against. Both inputs are residue vectors of length n.
+func RefNegacyclicMul(a, b []uint64, q uint64) ([]uint64, error) {
+	n := len(a)
+	if len(b) != n {
+		return nil, fmt.Errorf("testkit: operand lengths %d and %d differ", n, len(b))
+	}
+	acc := make([]*big.Int, n)
+	for i := range acc {
+		acc[i] = new(big.Int)
+	}
+	term := new(big.Int)
+	for i := 0; i < n; i++ {
+		if a[i] == 0 {
+			continue
+		}
+		ai := bi(a[i])
+		for j := 0; j < n; j++ {
+			if b[j] == 0 {
+				continue
+			}
+			term.Mul(ai, bi(b[j]))
+			k := i + j
+			if k < n {
+				acc[k].Add(acc[k], term)
+			} else {
+				acc[k-n].Sub(acc[k-n], term) // x^n = -1
+			}
+		}
+	}
+	out := make([]uint64, n)
+	bigQ := bi(q)
+	for i, v := range acc {
+		out[i] = v.Mod(v, bigQ).Uint64()
+	}
+	return out, nil
+}
+
+// RefCRTCompose reconstructs the value in [0, prod(moduli)) whose residues
+// are given, by direct CRT over math/big.
+func RefCRTCompose(residues []uint64, moduli []uint64) (*big.Int, error) {
+	if len(residues) != len(moduli) {
+		return nil, fmt.Errorf("testkit: %d residues for %d moduli", len(residues), len(moduli))
+	}
+	bigQ := big.NewInt(1)
+	for _, q := range moduli {
+		bigQ.Mul(bigQ, bi(q))
+	}
+	acc := new(big.Int)
+	for j, q := range moduli {
+		qj := bi(q)
+		hat := new(big.Int).Quo(bigQ, qj)
+		inv := new(big.Int).ModInverse(new(big.Int).Mod(hat, qj), qj)
+		if inv == nil {
+			return nil, fmt.Errorf("testkit: moduli not coprime at %d", q)
+		}
+		term := bi(residues[j])
+		term.Mul(term, inv)
+		term.Mod(term, qj)
+		term.Mul(term, hat)
+		acc.Add(acc, term)
+	}
+	return acc.Mod(acc, bigQ), nil
+}
+
+// RefCenter maps v mod Q to its centered representative in (-Q/2, Q/2].
+func RefCenter(v, bigQ *big.Int) *big.Int {
+	out := new(big.Int).Mod(v, bigQ)
+	half := new(big.Int).Rsh(bigQ, 1)
+	if out.Cmp(half) > 0 {
+		out.Sub(out, bigQ)
+	}
+	return out
+}
+
+// RefIsPrime reports whether q is prime via math/big's Miller-Rabin +
+// Baillie-PSW test (deterministic for 64-bit inputs).
+func RefIsPrime(q uint64) bool { return bi(q).ProbablyPrime(0) }
+
+// Big returns v as a fresh *big.Int.
+func Big(v uint64) *big.Int { return bi(v) }
+
+func bi(v uint64) *big.Int { return new(big.Int).SetUint64(v) }

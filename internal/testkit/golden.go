@@ -1,0 +1,84 @@
+package testkit
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update is the shared regeneration flag: `go test ./internal/ring -update`
+// rewrites that package's golden files from the current implementation
+// instead of comparing against them. Each test binary registers its own
+// copy, so the flag works per package.
+var update = flag.Bool("update", false, "rewrite golden files under testdata/ instead of comparing")
+
+// Updating reports whether the -update flag was passed.
+func Updating() bool { return *update }
+
+// Golden compares got (marshaled as indented JSON) against the golden file
+// at path. With -update the file is (re)written instead and the test is
+// skipped-on-success. The comparison is byte-exact: goldens pin the precise
+// numeric output, not a tolerance.
+func Golden(t testing.TB, path string, got any) {
+	t.Helper()
+	data, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatalf("testkit: marshaling golden value for %s: %v", path, err)
+	}
+	data = append(data, '\n')
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("testkit: creating %s: %v", filepath.Dir(path), err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatalf("testkit: writing golden %s: %v", path, err)
+		}
+		t.Logf("testkit: wrote golden %s (%d bytes)", path, len(data))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("testkit: reading golden %s: %v (generate it with -update)", path, err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("testkit: %s differs from the committed golden vector.\n"+
+			"If the change is intentional, regenerate with `go test -run %s -update`.\n%s",
+			path, t.Name(), diffHint(want, data))
+	}
+}
+
+// diffHint locates the first differing line for a readable failure message.
+func diffHint(want, got []byte) string {
+	wl := bytes.Split(want, []byte("\n"))
+	gl := bytes.Split(got, []byte("\n"))
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(wl[i], gl[i]) {
+			return fmt.Sprintf("first difference at line %d:\n  golden: %s\n  got:    %s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: golden %d lines, got %d lines", len(wl), len(gl))
+}
+
+// Digest returns the hex SHA-256 of v's canonical JSON encoding — a compact
+// fingerprint for golden files and the replay-determinism gate. Map keys
+// are sorted by encoding/json, so the digest is deterministic.
+func Digest(v any) string {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Digest is used on plain data types; an unmarshalable value is a
+		// programming error in the caller.
+		panic(fmt.Sprintf("testkit: digesting: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}

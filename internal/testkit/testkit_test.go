@@ -1,0 +1,168 @@
+package testkit
+
+import (
+	"math/big"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"reveal/internal/modular"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give the same stream")
+		}
+	}
+	if NewRNG(1).Uint64() == NewRNG(2).Uint64() {
+		t.Error("different seeds produced the same first value")
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if v := r.Uint64Below(10); v >= 10 {
+			t.Fatalf("Uint64Below(10) = %d", v)
+		}
+		if v := r.Int64Centered(5); v < -5 || v > 5 {
+			t.Fatalf("Int64Centered(5) = %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v", f)
+		}
+	}
+	if v := r.Int64Centered(0); v != 0 {
+		t.Errorf("Int64Centered(0) = %d", v)
+	}
+	res := r.Residues(64, 97)
+	for _, v := range res {
+		if v >= 97 {
+			t.Fatalf("residue %d out of range", v)
+		}
+	}
+	for _, v := range r.SignedCoeffs(64, 3) {
+		if v < -3 || v > 3 {
+			t.Fatalf("signed coeff %d out of range", v)
+		}
+	}
+}
+
+// The reference arithmetic must agree with hand-computed small cases — the
+// reference itself needs an anchor before it can anchor anything else.
+func TestBigRefSmallCases(t *testing.T) {
+	if got := RefAddMod(5, 9, 11); got != 3 {
+		t.Errorf("RefAddMod = %d", got)
+	}
+	if got := RefSubMod(3, 9, 11); got != 5 {
+		t.Errorf("RefSubMod = %d", got)
+	}
+	if got := RefMulMod(7, 8, 11); got != 1 {
+		t.Errorf("RefMulMod = %d", got)
+	}
+	if got := RefExpMod(2, 10, 1000); got != 24 {
+		t.Errorf("RefExpMod = %d", got)
+	}
+	inv, ok := RefInverse(3, 11)
+	if !ok || inv != 4 {
+		t.Errorf("RefInverse(3,11) = %d, %v", inv, ok)
+	}
+	if _, ok := RefInverse(4, 8); ok {
+		t.Error("RefInverse(4,8) should not exist")
+	}
+}
+
+func TestRefNegacyclicMulHandChecked(t *testing.T) {
+	// (1 + x)(1 + x) = 1 + 2x + x^2 in Z_17[x]/(x^2+1) = 2x + 0 (x^2 = -1).
+	got, err := RefNegacyclicMul([]uint64{1, 1}, []uint64{1, 1}, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 || got[1] != 2 {
+		t.Errorf("got %v want [0 2]", got)
+	}
+	// x * x = x^2 = -1 = 16 mod 17.
+	got, err = RefNegacyclicMul([]uint64{0, 1}, []uint64{0, 1}, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 16 || got[1] != 0 {
+		t.Errorf("got %v want [16 0]", got)
+	}
+	if _, err := RefNegacyclicMul([]uint64{1}, []uint64{1, 2}, 17); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestRefCRTCompose(t *testing.T) {
+	moduli := []uint64{11, 13}
+	want := big.NewInt(100)
+	got, err := RefCRTCompose([]uint64{100 % 11, 100 % 13}, moduli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(want) != 0 {
+		t.Errorf("got %v want %v", got, want)
+	}
+	if _, err := RefCRTCompose([]uint64{1}, moduli); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if _, err := RefCRTCompose([]uint64{1, 2}, []uint64{6, 9}); err == nil {
+		t.Error("non-coprime moduli should fail")
+	}
+}
+
+func TestRefCenter(t *testing.T) {
+	q := big.NewInt(17)
+	if got := RefCenter(big.NewInt(16), q); got.Int64() != -1 {
+		t.Errorf("RefCenter(16, 17) = %v", got)
+	}
+	if got := RefCenter(big.NewInt(8), q); got.Int64() != 8 {
+		t.Errorf("RefCenter(8, 17) = %v", got)
+	}
+}
+
+// RefMulMod must agree with the production modular.Mul on random inputs —
+// the two implementations anchor each other.
+func TestRefAgreesWithModular(t *testing.T) {
+	r := NewRNG(99)
+	const q = uint64(0x1fffffffffe00001) // 61-bit NTT prime
+	for i := 0; i < 2000; i++ {
+		a, b := r.Uint64Below(q), r.Uint64Below(q)
+		if RefMulMod(a, b, q) != modular.Mul(a, b, q) {
+			t.Fatalf("Mul mismatch at a=%d b=%d", a, b)
+		}
+	}
+}
+
+func TestGoldenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "testdata", "golden.json")
+	payload := map[string]any{"values": []int{1, 2, 3}, "q": 12289}
+
+	// Simulate -update by writing the file directly, then compare clean.
+	old := *update
+	*update = true
+	Golden(t, path, payload)
+	*update = old
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("golden file not written: %v", err)
+	}
+	Golden(t, path, payload) // must pass byte-identically
+}
+
+func TestDigestDeterministic(t *testing.T) {
+	a := Digest(map[string]int{"b": 2, "a": 1})
+	b := Digest(map[string]int{"a": 1, "b": 2})
+	if a != b {
+		t.Error("digest must not depend on map insertion order")
+	}
+	if a == Digest(map[string]int{"a": 1, "b": 3}) {
+		t.Error("different values must digest differently")
+	}
+	if len(a) != 64 {
+		t.Errorf("digest length %d, want 64 hex chars", len(a))
+	}
+}

@@ -1,0 +1,69 @@
+package trace_test
+
+// FuzzReadSet: the binary trace-set decoder must never panic or
+// over-allocate on adversarial bytes, and anything it accepts must be
+// internally consistent and survive a bit-exact serialize/parse round trip.
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"reveal/internal/trace"
+)
+
+func validSetBytes(tb testing.TB) []byte {
+	tb.Helper()
+	set := &trace.Set{}
+	set.Append(trace.Trace{1.5, -2.25, 0}, 1)
+	set.Append(trace.Trace{0.125, 3, math.Inf(1)}, -1)
+	var buf bytes.Buffer
+	if err := trace.WriteSet(&buf, set); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func FuzzReadSet(f *testing.F) {
+	valid := validSetBytes(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])                                // truncated payload
+	f.Add(valid[:4])                                           // header only
+	f.Add([]byte("RVTS"))                                      // magic, no header
+	f.Add([]byte("NOPE00000000"))                              // wrong magic
+	f.Add(append(append([]byte{}, valid[:16]...), 0xFF, 0xFF)) // lying header
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		set, err := trace.ReadSet(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := set.Validate(); err != nil {
+			t.Fatalf("ReadSet accepted an inconsistent set: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteSet(&buf, set); err != nil {
+			t.Fatalf("accepted set does not re-serialize: %v", err)
+		}
+		again, err := trace.ReadSet(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if len(again.Traces) != len(set.Traces) {
+			t.Fatalf("round trip lost traces: %d -> %d", len(set.Traces), len(again.Traces))
+		}
+		for i := range set.Traces {
+			if again.Labels[i] != set.Labels[i] {
+				t.Fatalf("trace %d label %d -> %d", i, set.Labels[i], again.Labels[i])
+			}
+			for j := range set.Traces[i] {
+				// Bit-level comparison so NaN payloads survive too.
+				a := math.Float64bits(set.Traces[i][j])
+				b := math.Float64bits(again.Traces[i][j])
+				if a != b {
+					t.Fatalf("trace %d sample %d: %x -> %x", i, j, a, b)
+				}
+			}
+		}
+	})
+}

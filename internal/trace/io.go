@@ -84,13 +84,20 @@ func ReadSet(r io.Reader) (*Set, error) {
 		s.Labels = append(s.Labels, int(l))
 	}
 	buf := make([]byte, 8)
+	// Grow each trace incrementally rather than trusting the header's
+	// sample count up front: a short stream with an inflated header then
+	// fails at EOF instead of forcing a multi-GB allocation.
+	initialCap := samples
+	if initialCap > 4096 {
+		initialCap = 4096
+	}
 	for i := uint32(0); i < count; i++ {
-		t := make(Trace, samples)
+		t := make(Trace, 0, initialCap)
 		for j := uint32(0); j < samples; j++ {
 			if _, err := io.ReadFull(br, buf); err != nil {
 				return nil, err
 			}
-			t[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+			t = append(t, math.Float64frombits(binary.LittleEndian.Uint64(buf)))
 		}
 		s.Traces = append(s.Traces, t)
 	}
