@@ -604,15 +604,10 @@ func BenchmarkAblationSecondOrder(b *testing.B) {
 	b.ReportMetric(study.SecondOrderMaxT, "second-order-max-t")
 }
 
-// BenchmarkParallelClassification measures the sharded worker-pool
-// classification of a Table-1-sized campaign (both error polynomials of
-// one encryption, 2·n coefficients) against the serial loop, verifying the
-// outputs are identical. The speedup scales with available cores; the
-// snapshot records the worker count so runs on different hardware stay
-// comparable.
-func BenchmarkParallelClassification(b *testing.B) {
-	s := getDefaultSession(b)
-	br := snapshotBench(b)
+// attackSegments collects the per-coefficient segments of both error
+// polynomials of one captured encryption — the classify-stage workload.
+func attackSegments(b *testing.B, s *experiments.Session) []trace.Segment {
+	b.Helper()
 	pt := s.Params.NewPlaintext()
 	cap, err := core.CaptureEncryption(s.Device, s.Params, s.Encryptor, pt)
 	if err != nil {
@@ -626,11 +621,73 @@ func BenchmarkParallelClassification(b *testing.B) {
 		}
 		segs = append(segs, ss[:s.Params.N]...)
 	}
+	return segs
+}
+
+// BenchmarkClassifyStage isolates the template-classification hot loop: the
+// serial scoring of every per-coefficient segment of one encryption (both
+// error polynomials, 2·n coefficients), with capture and segmentation held
+// outside the timed region. This is the layer the Gaussian-template scorer
+// dominates and the benchmark the perf gate tracks most closely.
+func BenchmarkClassifyStage(b *testing.B) {
+	s := getDefaultSession(b)
+	br := snapshotBench(b)
+	segs := attackSegments(b, s)
+	ctx := context.Background()
+	var res *core.AttackResult
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = s.Classifier.AttackSegmentsCtx(ctx, segs)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if len(res.Values) != len(segs) {
+		b.Fatalf("classified %d of %d segments", len(res.Values), len(segs))
+	}
+	br.Metric(float64(len(segs)), "coefficients")
+	br.Metric(float64(len(segs))/(float64(b.Elapsed().Nanoseconds())/float64(b.N)/1e9), "coeffs-per-second")
+}
+
+// BenchmarkSegmentStage isolates trace segmentation: cutting one captured
+// sampling trace into its per-coefficient sub-traces.
+func BenchmarkSegmentStage(b *testing.B) {
+	s := getDefaultSession(b)
+	br := snapshotBench(b)
+	pt := s.Params.NewPlaintext()
+	cap, err := core.CaptureEncryption(s.Device, s.Params, s.Encryptor, pt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var segs []trace.Segment
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		segs, err = trace.SegmentEncryptionTrace(cap.TraceE2, s.Params.N+1, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	br.Metric(float64(len(segs)), "segments")
+}
+
+// BenchmarkParallelClassification measures the sharded worker-pool
+// classification of a Table-1-sized campaign (both error polynomials of
+// one encryption, 2·n coefficients) against the serial loop, verifying the
+// outputs are identical. The speedup scales with available cores; the
+// snapshot records the worker count so runs on different hardware stay
+// comparable.
+func BenchmarkParallelClassification(b *testing.B) {
+	s := getDefaultSession(b)
+	br := snapshotBench(b)
+	segs := attackSegments(b, s)
 	ctx := context.Background()
 	workers := runtime.GOMAXPROCS(0)
 
 	// Serial baseline, best of two runs (outside the timed region).
 	var serial *core.AttackResult
+	var err error
 	serialDur := time.Duration(1<<62 - 1)
 	for rep := 0; rep < 2; rep++ {
 		t0 := time.Now()

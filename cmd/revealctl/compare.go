@@ -39,6 +39,7 @@ func (m metricTolFlag) Set(s string) error {
 // compareConfig is the fully parsed input of one compare invocation.
 type compareConfig struct {
 	Tol       float64
+	PerfTol   float64
 	GatePerf  bool
 	JSONOut   bool
 	MetricTol metricTolFlag
@@ -55,6 +56,7 @@ func parseCompareArgs(args []string, stderr io.Writer) (*compareConfig, error) {
 	cfg := &compareConfig{MetricTol: metricTolFlag{}}
 	fs.Float64Var(&cfg.Tol, "tol", 0.05, "default relative tolerance for gated metrics")
 	fs.BoolVar(&cfg.GatePerf, "gate-perf", false, "also gate wall-clock metrics (ns_per_op, *_seconds); off by default because they are machine-dependent")
+	fs.Float64Var(&cfg.PerfTol, "perf-tol", 0, "relative tolerance for wall-clock metrics under -gate-perf (0 means use -tol); direction-aware, so only slowdowns fail")
 	fs.BoolVar(&cfg.JSONOut, "json", false, "print the per-metric deltas as JSON")
 	fs.Var(cfg.MetricTol, "metric-tol", "per-metric tolerance override, name=tolerance (repeatable)")
 	fs.Usage = func() {
@@ -89,6 +91,7 @@ func executeCompare(cfg *compareConfig, stdout, stderr io.Writer) error {
 	}
 	deltas, regressed := obs.CompareMetrics(prev, curr, obs.CompareOptions{
 		Tolerance:       cfg.Tol,
+		PerfTolerance:   cfg.PerfTol,
 		MetricTolerance: cfg.MetricTol,
 		GatePerf:        cfg.GatePerf,
 	})

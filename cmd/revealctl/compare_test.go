@@ -36,7 +36,7 @@ func writeManifest(t *testing.T, dir, name string, results map[string]any) strin
 func TestParseCompareArgs(t *testing.T) {
 	var stderr bytes.Buffer
 	cfg, err := parseCompareArgs([]string{
-		"-tol", "0.1", "-gate-perf", "-json",
+		"-tol", "0.1", "-gate-perf", "-json", "-perf-tol", "0.35",
 		"-metric-tol", "results.mean_value_accuracy=0.25",
 		"-metric-tol", "results.messages_recovered=0",
 		"old.json", "new.json",
@@ -44,7 +44,7 @@ func TestParseCompareArgs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.Tol != 0.1 || !cfg.GatePerf || !cfg.JSONOut {
+	if cfg.Tol != 0.1 || !cfg.GatePerf || !cfg.JSONOut || cfg.PerfTol != 0.35 {
 		t.Fatalf("flags not plumbed: %+v", cfg)
 	}
 	if cfg.OldPath != "old.json" || cfg.NewPath != "new.json" {
@@ -162,6 +162,51 @@ func TestExecuteCompareJSONOutput(t *testing.T) {
 	}
 	if !doc.Regressed || len(doc.Deltas) == 0 {
 		t.Fatalf("JSON report incomplete: %+v", doc)
+	}
+}
+
+// writeBenchSnapshotFixture writes a minimal BENCH_*.json fixture.
+func writeBenchSnapshotFixture(t *testing.T, dir, name string, nsPerOp float64) string {
+	t.Helper()
+	doc := map[string]any{
+		"benchmark": "BenchmarkTable1TemplateAttack",
+		"ns_per_op": nsPerOp,
+		"metrics":   map[string]any{"value-acc-%": 68.0},
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestExecuteComparePerfGate: the bench-gate configuration end to end — a
+// 2× slowdown fails under -gate-perf, and -perf-tol loosens only the
+// wall-clock bound.
+func TestExecuteComparePerfGate(t *testing.T) {
+	dir := t.TempDir()
+	old := writeBenchSnapshotFixture(t, dir, "baseline.json", 1e8)
+	slow := writeBenchSnapshotFixture(t, dir, "slow.json", 2e8)
+	var stdout, stderr bytes.Buffer
+	cfg := &compareConfig{Tol: 0.05, GatePerf: true, MetricTol: metricTolFlag{}, OldPath: old, NewPath: slow}
+	if err := executeCompare(cfg, &stdout, &stderr); err == nil {
+		t.Fatalf("2x slowdown passed the perf gate:\n%s", stdout.String())
+	}
+	// Without -gate-perf the same pair passes (perf is informational).
+	stdout.Reset()
+	cfg = &compareConfig{Tol: 0.05, MetricTol: metricTolFlag{}, OldPath: old, NewPath: slow}
+	if err := executeCompare(cfg, &stdout, &stderr); err != nil {
+		t.Fatalf("perf metrics gated without -gate-perf: %v", err)
+	}
+	// A wide -perf-tol absorbs the slowdown.
+	stdout.Reset()
+	cfg = &compareConfig{Tol: 0.05, GatePerf: true, PerfTol: 1.5, MetricTol: metricTolFlag{}, OldPath: old, NewPath: slow}
+	if err := executeCompare(cfg, &stdout, &stderr); err != nil {
+		t.Fatalf("perf-tol did not loosen the gate: %v", err)
 	}
 }
 

@@ -106,10 +106,17 @@ func (c *CoefficientClassifier) AttackWithOptions(ctx context.Context, cap *Encr
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("core: attack canceled: %w", err)
 		}
-		segs, err := trace.SegmentEncryptionTrace(tr, n+1, 8)
+		// Zero-copy segmentation: the segment views only need to live for
+		// the classification below, and tr outlives it.
+		ssp := obs.StartSpan("segment")
+		sg := trace.NewSegmenter(n + 1)
+		segs, err := sg.Segment(tr, n+1, 8)
 		if err != nil {
+			ssp.End()
 			return nil, err
 		}
+		ssp.AddItems(len(segs))
+		ssp.End()
 		return c.attackSegments(ctx, segs[:n], opts.Workers)
 	}
 	if opts.Workers > 1 {

@@ -3,7 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
-	"sort"
+	"sync"
 
 	"reveal/internal/obs"
 	"reveal/internal/sca"
@@ -25,7 +25,24 @@ type CoefficientClassifier struct {
 	Pos *sca.Templates
 	// Neg holds value templates for labels −MaxAbsValue..−1.
 	Neg *sca.Templates
+
+	// scorers pools per-goroutine classification contexts (template
+	// scorers plus alignment and posterior scratch), so repeated attacks
+	// over the same classifier reuse their buffers.
+	scorers sync.Pool
 }
+
+// scorer takes a reusable classification context from the pool (building
+// one on first use); release returns it. The context embeds scratch
+// buffers, so it must only ever serve one goroutine at a time.
+func (c *CoefficientClassifier) scorer() *segScorer {
+	if v := c.scorers.Get(); v != nil {
+		return v.(*segScorer)
+	}
+	return newSegScorer(c)
+}
+
+func (c *CoefficientClassifier) release(ss *segScorer) { c.scorers.Put(ss) }
 
 // Classification is the outcome for one coefficient sub-trace.
 type Classification struct {
@@ -50,75 +67,14 @@ func tailAlign(seg trace.Trace, length int) trace.Trace {
 	return seg.Resample(length)
 }
 
-// ClassifySegment classifies one per-coefficient sub-trace.
+// ClassifySegment classifies one per-coefficient sub-trace: branch first
+// (V1), then the value template of the recovered side (V2/V3), with the
+// combined posterior P(v) = P(sign)·P(v | sign). The arithmetic runs on a
+// pooled segScorer, scoring each template set exactly once.
 func (c *CoefficientClassifier) ClassifySegment(seg trace.Trace) (*Classification, error) {
-	aligned := tailAlign(seg, c.Length)
-	signProbs, err := c.Sign.Probabilities(aligned)
-	if err != nil {
-		return nil, fmt.Errorf("core: sign classification: %w", err)
-	}
-	sign, err := c.Sign.Classify(aligned)
-	if err != nil {
-		return nil, err
-	}
-
-	probs := map[int]float64{0: signProbs[0]}
-	if c.Pos != nil {
-		posProbs, err := c.Pos.Probabilities(aligned)
-		if err != nil {
-			return nil, fmt.Errorf("core: positive value classification: %w", err)
-		}
-		for v, p := range posProbs {
-			probs[v] = signProbs[1] * p
-		}
-	}
-	if c.Neg != nil {
-		negProbs, err := c.Neg.Probabilities(aligned)
-		if err != nil {
-			return nil, fmt.Errorf("core: negative value classification: %w", err)
-		}
-		for v, p := range negProbs {
-			probs[v] = signProbs[-1] * p
-		}
-	}
-	// Normalize (guards against a missing side). The total is accumulated
-	// in ascending label order: float addition is order-sensitive, and map
-	// iteration order would make repeated classifications of the same
-	// segment differ in the last bits.
-	labels := make([]int, 0, len(probs))
-	for v := range probs {
-		labels = append(labels, v)
-	}
-	sort.Ints(labels)
-	total := 0.0
-	for _, v := range labels {
-		total += probs[v]
-	}
-	if total > 0 {
-		for v := range probs {
-			probs[v] /= total
-		}
-	}
-
-	// Maximum-likelihood value within the recovered sign class, matching
-	// the paper's procedure (branch first, then the value template).
-	value := 0
-	switch sign {
-	case 1:
-		if c.Pos == nil {
-			return nil, fmt.Errorf("core: no positive templates")
-		}
-		value, err = c.Pos.Classify(aligned)
-	case -1:
-		if c.Neg == nil {
-			return nil, fmt.Errorf("core: no negative templates")
-		}
-		value, err = c.Neg.Classify(aligned)
-	}
-	if err != nil {
-		return nil, err
-	}
-	return &Classification{Value: value, Sign: sign, Probs: probs}, nil
+	ss := c.scorer()
+	defer c.release(ss)
+	return ss.classify(seg)
 }
 
 // AttackResult aggregates the single-trace attack over one error
@@ -146,13 +102,15 @@ func (c *CoefficientClassifier) AttackSegmentsCtx(ctx context.Context, segs []tr
 		Signs:  make([]int, len(segs)),
 		Probs:  make([]map[int]float64, len(segs)),
 	}
+	ss := c.scorer()
+	defer c.release(ss)
 	for i, s := range segs {
 		if i%classifyCancelStride == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("core: classification canceled at coefficient %d: %w", i, err)
 			}
 		}
-		cl, err := c.ClassifySegment(s.Samples)
+		cl, err := ss.classify(s.Samples)
 		if err != nil {
 			return nil, fmt.Errorf("core: coefficient %d: %w", i, err)
 		}

@@ -77,6 +77,10 @@ func (c *CoefficientClassifier) AttackSegmentsParallel(ctx context.Context, segs
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			// One pooled scoring context per shard: scratch buffers are
+			// goroutine-local, results stay bitwise identical to serial.
+			ss := c.scorer()
+			defer c.release(ss)
 			for i := lo; i < hi; i++ {
 				if (i-lo)%classifyCancelStride == 0 {
 					if err := ctx.Err(); err != nil {
@@ -84,7 +88,7 @@ func (c *CoefficientClassifier) AttackSegmentsParallel(ctx context.Context, segs
 						return
 					}
 				}
-				cl, err := c.ClassifySegment(segs[i].Samples)
+				cl, err := ss.classify(segs[i].Samples)
 				if err != nil {
 					fail(fmt.Errorf("core: coefficient %d: %w", i, err))
 					return

@@ -114,22 +114,49 @@ func (m *Matrix) Scale(s float64) *Matrix {
 	return out
 }
 
-// Mul returns the matrix product m * other.
+// mulBlock is the k-panel width of the blocked matrix product: B rows
+// touched inside a panel stay cache-resident across the i sweep.
+const mulBlock = 64
+
+// Mul returns the matrix product m * other. The product is blocked over
+// panels of k and unrolled over j; every output element still accumulates
+// its k terms in ascending order, so results are bitwise identical to the
+// naive i-k-j loop.
 func (m *Matrix) Mul(other *Matrix) (*Matrix, error) {
 	if m.Cols != other.Rows {
 		return nil, fmt.Errorf("linalg: cannot multiply %dx%d by %dx%d", m.Rows, m.Cols, other.Rows, other.Cols)
 	}
 	out := NewMatrix(m.Rows, other.Cols)
-	for i := 0; i < m.Rows; i++ {
-		for k := 0; k < m.Cols; k++ {
-			a := m.At(i, k)
-			if a == 0 {
-				continue
-			}
-			rowOut := out.Data[i*out.Cols : (i+1)*out.Cols]
-			rowB := other.Data[k*other.Cols : (k+1)*other.Cols]
-			for j := range rowB {
-				rowOut[j] += a * rowB[j]
+	nc := other.Cols
+	if nc == 0 || m.Rows == 0 {
+		return out, nil
+	}
+	for k0 := 0; k0 < m.Cols; k0 += mulBlock {
+		k1 := k0 + mulBlock
+		if k1 > m.Cols {
+			k1 = m.Cols
+		}
+		for i := 0; i < m.Rows; i++ {
+			rowOut := out.Data[i*nc : (i+1)*nc]
+			rowA := m.Data[i*m.Cols : (i+1)*m.Cols]
+			for k := k0; k < k1; k++ {
+				a := rowA[k]
+				if a == 0 {
+					// Skipping preserves the historical semantics: a zero
+					// coefficient contributes nothing, even against ±Inf/NaN.
+					continue
+				}
+				rowB := other.Data[k*nc : (k+1)*nc]
+				j := 0
+				for ; j+4 <= nc; j += 4 {
+					rowOut[j] += a * rowB[j]
+					rowOut[j+1] += a * rowB[j+1]
+					rowOut[j+2] += a * rowB[j+2]
+					rowOut[j+3] += a * rowB[j+3]
+				}
+				for ; j < nc; j++ {
+					rowOut[j] += a * rowB[j]
+				}
 			}
 		}
 	}
@@ -138,19 +165,41 @@ func (m *Matrix) Mul(other *Matrix) (*Matrix, error) {
 
 // MulVec returns the matrix-vector product m * v.
 func (m *Matrix) MulVec(v []float64) ([]float64, error) {
-	if m.Cols != len(v) {
-		return nil, fmt.Errorf("linalg: cannot multiply %dx%d by vector of length %d", m.Rows, m.Cols, len(v))
-	}
 	out := make([]float64, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		sum := 0.0
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		for j, x := range v {
-			sum += row[j] * x
-		}
-		out[i] = sum
+	if err := m.MulVecInto(out, v); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// MulVecInto computes m * v into dst without allocating. dst must have
+// length m.Rows. The row dot products are unrolled but keep a single
+// accumulator in index order, so results are bitwise identical to MulVec's
+// historical loop.
+func (m *Matrix) MulVecInto(dst, v []float64) error {
+	if m.Cols != len(v) {
+		return fmt.Errorf("linalg: cannot multiply %dx%d by vector of length %d", m.Rows, m.Cols, len(v))
+	}
+	if len(dst) != m.Rows {
+		return fmt.Errorf("linalg: destination length %d, want %d", len(dst), m.Rows)
+	}
+	n := m.Cols
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*n : (i+1)*n]
+		sum := 0.0
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			sum += row[j] * v[j]
+			sum += row[j+1] * v[j+1]
+			sum += row[j+2] * v[j+2]
+			sum += row[j+3] * v[j+3]
+		}
+		for ; j < n; j++ {
+			sum += row[j] * v[j]
+		}
+		dst[i] = sum
+	}
+	return nil
 }
 
 // Dot returns the inner product of two equal-length vectors.

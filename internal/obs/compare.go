@@ -131,12 +131,20 @@ type CompareOptions struct {
 	// Tolerance is the default relative tolerance before a gated metric
 	// counts as regressed (default 0.05 when zero).
 	Tolerance float64
-	// MetricTolerance overrides the tolerance per metric name.
+	// MetricTolerance overrides the tolerance per metric name. A key ending
+	// in '*' matches every metric with that prefix (e.g. "stage.*" covers
+	// all stage aggregates); an exact key always wins over a wildcard, and
+	// among wildcards the longest prefix wins.
 	MetricTolerance map[string]float64
 	// GatePerf also gates the timing metrics (ns_per_op, *_seconds,
 	// items_per_second), which are machine-dependent and therefore
 	// informational by default.
 	GatePerf bool
+	// PerfTolerance, when non-zero, replaces Tolerance for the perf metrics
+	// gated by GatePerf. Wall-clock numbers are noisier than accuracies, so
+	// the benchmark gate runs them with a looser bound without loosening the
+	// result metrics. Per-metric MetricTolerance entries still win.
+	PerfTolerance float64
 }
 
 // metricDirection classifies a metric name into its improvement direction
@@ -184,7 +192,10 @@ func CompareMetrics(prev, curr *RunMetrics, opts CompareOptions) ([]MetricDelta,
 		d.Gated = dir != "informational" && (!perf || opts.GatePerf)
 		if d.Gated {
 			d.Tolerance = tol
-			if t, ok := opts.MetricTolerance[name]; ok {
+			if perf && opts.PerfTolerance != 0 {
+				d.Tolerance = opts.PerfTolerance
+			}
+			if t, ok := lookupTolerance(opts.MetricTolerance, name); ok {
 				d.Tolerance = t
 			}
 		}
@@ -222,6 +233,26 @@ func CompareMetrics(prev, curr *RunMetrics, opts CompareOptions) ([]MetricDelta,
 		return deltas[i].Name < deltas[j].Name
 	})
 	return deltas, regressed
+}
+
+// lookupTolerance resolves a metric's tolerance override: exact name first,
+// then the longest matching '*'-suffixed prefix pattern.
+func lookupTolerance(overrides map[string]float64, name string) (float64, bool) {
+	if t, ok := overrides[name]; ok {
+		return t, true
+	}
+	bestLen := -1
+	var best float64
+	for pattern, t := range overrides {
+		if !strings.HasSuffix(pattern, "*") {
+			continue
+		}
+		prefix := pattern[:len(pattern)-1]
+		if strings.HasPrefix(name, prefix) && len(prefix) > bestLen {
+			bestLen, best = len(prefix), t
+		}
+	}
+	return best, bestLen >= 0
 }
 
 // relDelta is (b−a)/|a| with a sign-preserving fallback for a == 0.

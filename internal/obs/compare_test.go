@@ -134,6 +134,100 @@ func TestCompareMetricsGatePerfAndImprovements(t *testing.T) {
 	}
 }
 
+// TestCompareMetricsPerfTolerance: PerfTolerance loosens only the
+// wall-clock metrics; quality metrics keep the default tolerance, and
+// per-metric overrides still win over both.
+func TestCompareMetricsPerfTolerance(t *testing.T) {
+	a := &RunMetrics{Values: map[string]float64{
+		"ns_per_op":           1e9,
+		"metrics.value-acc-%": 100,
+	}}
+	b := &RunMetrics{Values: map[string]float64{
+		"ns_per_op":           1.2e9, // 20% slower
+		"metrics.value-acc-%": 90,    // 10% worse
+	}}
+	// 20% slowdown fails at the default 5% tolerance...
+	if _, regressed := CompareMetrics(a, b, CompareOptions{GatePerf: true}); !regressed {
+		t.Fatal("20% slowdown must regress at default tolerance")
+	}
+	// ...passes with a 30% perf tolerance — but the accuracy drop still fails.
+	deltas, regressed := CompareMetrics(a, b, CompareOptions{GatePerf: true, PerfTolerance: 0.3})
+	if !regressed {
+		t.Fatal("accuracy drop must still regress under a loose perf tolerance")
+	}
+	for _, d := range deltas {
+		if d.Name == "ns_per_op" {
+			if d.Regressed {
+				t.Fatal("ns_per_op must pass within PerfTolerance")
+			}
+			if d.Tolerance != 0.3 {
+				t.Fatalf("ns_per_op tolerance = %g, want 0.3", d.Tolerance)
+			}
+		}
+		if d.Name == "metrics.value-acc-%" && d.Tolerance != 0.05 {
+			t.Fatalf("accuracy tolerance = %g, want the default 0.05", d.Tolerance)
+		}
+	}
+	// A per-metric override beats PerfTolerance.
+	_, regressed = CompareMetrics(a, b, CompareOptions{
+		GatePerf:        true,
+		PerfTolerance:   0.3,
+		MetricTolerance: map[string]float64{"ns_per_op": 0.1, "metrics.value-acc-%": 0.5},
+	})
+	if !regressed {
+		t.Fatal("per-metric 10% bound must re-gate the 20% slowdown")
+	}
+}
+
+// TestCompareMetricsWildcardTolerance: a 'prefix*' override covers every
+// matching metric, exact names beat wildcards, and longer prefixes beat
+// shorter ones.
+func TestCompareMetricsWildcardTolerance(t *testing.T) {
+	a := &RunMetrics{Values: map[string]float64{
+		"stage.segment.p50_seconds":  0.0002,
+		"stage.classify.p50_seconds": 0.020,
+		"ns_per_op":                  1e8,
+	}}
+	b := &RunMetrics{Values: map[string]float64{
+		"stage.segment.p50_seconds":  0.0004, // +100%: timer quantization
+		"stage.classify.p50_seconds": 0.024,  // +20%
+		"ns_per_op":                  1.1e8,  // +10%
+	}}
+	opts := CompareOptions{
+		GatePerf:      true,
+		PerfTolerance: 0.15,
+		MetricTolerance: map[string]float64{
+			"stage.*":                    2,
+			"stage.classify.p50_seconds": 0.1,
+		},
+	}
+	deltas, regressed := CompareMetrics(a, b, opts)
+	byName := map[string]MetricDelta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if byName["stage.segment.p50_seconds"].Regressed {
+		t.Fatal("wildcard tolerance must absorb the quantized stage metric")
+	}
+	if !byName["stage.classify.p50_seconds"].Regressed {
+		t.Fatal("exact override must beat the wildcard and gate the 20% rise")
+	}
+	if byName["ns_per_op"].Regressed || byName["ns_per_op"].Tolerance != 0.15 {
+		t.Fatalf("non-matching metric must keep PerfTolerance: %+v", byName["ns_per_op"])
+	}
+	if !regressed {
+		t.Fatal("comparison must regress via the exact-override metric")
+	}
+	// Longest wildcard prefix wins.
+	tol, ok := lookupTolerance(map[string]float64{"stage.*": 2, "stage.segment.*": 3}, "stage.segment.items")
+	if !ok || tol != 3 {
+		t.Fatalf("longest prefix must win: got %g, %v", tol, ok)
+	}
+	if _, ok := lookupTolerance(map[string]float64{"stage.*": 2}, "ns_per_op"); ok {
+		t.Fatal("non-matching name must not resolve")
+	}
+}
+
 func TestMetricDirectionBenchAccuracy(t *testing.T) {
 	// The benchmark snapshots name their quality metrics "value-acc-%";
 	// they must be gated like the manifests' "*_accuracy" results.

@@ -182,11 +182,16 @@ func SelectPOIs(scores []float64, count, minSpacing int) []int {
 
 // Extract gathers the POI samples of a trace into a feature vector.
 func Extract(tr trace.Trace, pois []int) []float64 {
-	out := make([]float64, len(pois))
+	return ExtractInto(make([]float64, len(pois)), tr, pois)
+}
+
+// ExtractInto gathers the POI samples of a trace into a caller-provided
+// feature buffer (which must have len(pois) entries) and returns it.
+func ExtractInto(dst []float64, tr trace.Trace, pois []int) []float64 {
 	for i, p := range pois {
-		out[i] = tr[p]
+		dst[i] = tr[p]
 	}
-	return out
+	return dst
 }
 
 // SecondOrderPreprocess computes centered-product features for

@@ -1,0 +1,342 @@
+package sca
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"reveal/internal/linalg"
+	"reveal/internal/trace"
+)
+
+// referenceLogLikelihoods replicates the pre-scorer per-call arithmetic —
+// fresh residual allocation, linalg.SolveCholesky on the stored factor —
+// as the bitwise ground truth the Scorer must match.
+func referenceLogLikelihoods(t *Templates, tr trace.Trace) (map[int]float64, error) {
+	f := Extract(tr, t.POIs)
+	out := make(map[int]float64, len(t.classes))
+	d := float64(len(t.POIs))
+	resid := make([]float64, len(f))
+	for _, c := range t.classes {
+		for i := range f {
+			resid[i] = f[i] - c.mean[i]
+		}
+		x, err := linalg.SolveCholesky(c.chol, resid)
+		if err != nil {
+			return nil, err
+		}
+		mahal := linalg.Dot(resid, x)
+		out[c.label] = -0.5 * (mahal + c.logDet + d*math.Log(2*math.Pi))
+	}
+	return out, nil
+}
+
+func trainedScorerFixture(t *testing.T, pooled bool) (*Templates, *trace.Set) {
+	t.Helper()
+	train := synthSet(7, []int{-3, -1, 0, 2, 5}, 60, 24, 0.08)
+	opts := DefaultTemplateOptions()
+	opts.Pooled = pooled
+	tmpl, err := BuildTemplates(train, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := synthSet(99, []int{-3, -1, 0, 2, 5}, 8, 24, 0.08)
+	return tmpl, test
+}
+
+// TestScorerBitwiseIdenticalToReference: log-likelihoods, classifications
+// and posteriors from the reusable Scorer must equal the historical
+// per-call path to the last bit, for pooled and per-class covariances.
+func TestScorerBitwiseIdenticalToReference(t *testing.T) {
+	for _, pooled := range []bool{true, false} {
+		tmpl, test := trainedScorerFixture(t, pooled)
+		s := tmpl.NewScorer()
+		for i, tr := range test.Traces {
+			want, err := referenceLogLikelihoods(tmpl, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ll, err := s.ScoreTrace(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := tmpl.LogLikelihoods(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for ci := range tmpl.classes {
+				l := tmpl.classes[ci].label
+				if math.Float64bits(want[l]) != math.Float64bits(ll[ci]) {
+					t.Fatalf("pooled=%v trace %d: scorer ll[%d] = %x, want %x",
+						pooled, i, l, math.Float64bits(ll[ci]), math.Float64bits(want[l]))
+				}
+				if math.Float64bits(want[l]) != math.Float64bits(got[l]) {
+					t.Fatalf("pooled=%v trace %d: LogLikelihoods[%d] drifted", pooled, i, l)
+				}
+			}
+			// Posterior: same exp/normalize order as the historical softmax.
+			wantPost := make(map[int]float64, len(want))
+			max := math.Inf(-1)
+			for _, v := range want {
+				if v > max {
+					max = v
+				}
+			}
+			sum := 0.0
+			for _, c := range tmpl.classes {
+				e := math.Exp(want[c.label] - max)
+				wantPost[c.label] = e
+				sum += e
+			}
+			for l := range wantPost {
+				wantPost[l] /= sum
+			}
+			gotPost, err := tmpl.Probabilities(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for l, v := range wantPost {
+				if math.Float64bits(v) != math.Float64bits(gotPost[l]) {
+					t.Fatalf("pooled=%v trace %d: posterior[%d] = %x, want %x",
+						pooled, i, l, math.Float64bits(gotPost[l]), math.Float64bits(v))
+				}
+			}
+			// Classification: first strict maximum in ascending class order.
+			wantBest, wantLL := 0, math.Inf(-1)
+			first := true
+			for _, c := range tmpl.classes {
+				if v := want[c.label]; first || v > wantLL {
+					wantBest, wantLL = c.label, v
+					first = false
+				}
+			}
+			gotBest, err := tmpl.Classify(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotBest != wantBest {
+				t.Fatalf("pooled=%v trace %d: Classify = %d, want %d", pooled, i, gotBest, wantBest)
+			}
+		}
+	}
+}
+
+// TestScoreBatchMatchesPerTrace: the batch path is the per-trace path.
+func TestScoreBatchMatchesPerTrace(t *testing.T) {
+	tmpl, test := trainedScorerFixture(t, true)
+	s := tmpl.NewScorer()
+	batch, err := s.ScoreBatch(test.Traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Rows != len(test.Traces) || batch.Cols != s.Classes() {
+		t.Fatalf("batch shape %dx%d, want %dx%d", batch.Rows, batch.Cols, len(test.Traces), s.Classes())
+	}
+	labels, err := tmpl.ClassifyBatch(test.Traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range test.Traces {
+		ll, err := s.ScoreTrace(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ci := range ll {
+			if math.Float64bits(ll[ci]) != math.Float64bits(batch.At(i, ci)) {
+				t.Fatalf("trace %d class %d: batch score %x, want %x", i, ci,
+					math.Float64bits(batch.At(i, ci)), math.Float64bits(ll[ci]))
+			}
+		}
+		want, err := tmpl.Classify(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if labels[i] != want {
+			t.Fatalf("trace %d: ClassifyBatch = %d, want %d", i, labels[i], want)
+		}
+	}
+}
+
+// TestScorerErrors covers the shape guards.
+func TestScorerErrors(t *testing.T) {
+	tmpl, _ := trainedScorerFixture(t, true)
+	s := tmpl.NewScorer()
+	if _, err := s.ScoreTrace(make(trace.Trace, 2)); err == nil {
+		t.Error("short trace should fail")
+	}
+	if _, err := s.ScoreVector(make([]float64, 1)); err == nil {
+		t.Error("wrong feature width should fail")
+	}
+	if _, err := s.ScoreBatch([]trace.Trace{make(trace.Trace, 1)}); err == nil {
+		t.Error("batch with short trace should fail")
+	}
+	if _, err := tmpl.ClassifyBatch([]trace.Trace{make(trace.Trace, 1)}); err == nil {
+		t.Error("classify batch with short trace should fail")
+	}
+}
+
+// TestTemplatesPrecomputedStructures: training must leave a usable inverse
+// covariance and log-determinant on every class, and the pooled covariance
+// must share one inverse across classes.
+func TestTemplatesPrecomputedStructures(t *testing.T) {
+	tmpl, _ := trainedScorerFixture(t, true)
+	labels := tmpl.Labels()
+	first := tmpl.InverseCovariance(labels[0])
+	if first == nil {
+		t.Fatal("missing inverse covariance")
+	}
+	d := len(tmpl.POIs)
+	for _, l := range labels {
+		inv := tmpl.InverseCovariance(l)
+		if inv == nil || inv.Rows != d || inv.Cols != d {
+			t.Fatalf("label %d: bad inverse covariance", l)
+		}
+		if inv != first {
+			t.Fatalf("pooled templates should share one inverse covariance")
+		}
+		if ld := tmpl.ClassLogDet(l); math.IsNaN(ld) || math.IsInf(ld, 0) {
+			t.Fatalf("label %d: bad log-determinant %v", l, ld)
+		}
+	}
+	// Σ · Σ⁻¹ ≈ I, with Σ reconstructed from the stored factor.
+	c := tmpl.classes[0]
+	cov, err := c.chol.Mul(c.chol.Transpose())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := cov.Mul(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dmax := linalg.MaxAbsDiff(prod, linalg.Identity(d)); dmax > 1e-8 {
+		t.Fatalf("|Σ·Σ⁻¹ − I| = %g", dmax)
+	}
+	if tmpl.InverseCovariance(12345) != nil {
+		t.Error("unknown label should return nil inverse")
+	}
+	if !math.IsNaN(tmpl.ClassLogDet(12345)) {
+		t.Error("unknown label should return NaN log-det")
+	}
+}
+
+// TestSerializationCarriesPrecomputed: a v2 round-trip must preserve the
+// inverse covariance and log-determinant bit for bit and keep scoring
+// bitwise identical.
+func TestSerializationCarriesPrecomputed(t *testing.T) {
+	tmpl, test := trainedScorerFixture(t, false)
+	var buf bytes.Buffer
+	if err := WriteTemplates(&buf, tmpl); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTemplates(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range tmpl.Labels() {
+		a, b := tmpl.InverseCovariance(l), back.InverseCovariance(l)
+		if b == nil || a.Rows != b.Rows || a.Cols != b.Cols {
+			t.Fatalf("label %d: inverse covariance lost in round trip", l)
+		}
+		for i := range a.Data {
+			if math.Float64bits(a.Data[i]) != math.Float64bits(b.Data[i]) {
+				t.Fatalf("label %d: inverse covariance entry %d drifted", l, i)
+			}
+		}
+		if math.Float64bits(tmpl.ClassLogDet(l)) != math.Float64bits(back.ClassLogDet(l)) {
+			t.Fatalf("label %d: log-determinant drifted", l)
+		}
+	}
+	s1, s2 := tmpl.NewScorer(), back.NewScorer()
+	for i, tr := range test.Traces {
+		ll1, err := s1.ScoreTrace(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ll2, err := s2.ScoreTrace(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ci := range ll1 {
+			if math.Float64bits(ll1[ci]) != math.Float64bits(ll2[ci]) {
+				t.Fatalf("trace %d: round-tripped score drifted at class %d", i, ci)
+			}
+		}
+	}
+}
+
+// TestStaleTemplateVersionRejected: version-1 streams (no precomputed
+// inverse covariance) must fail with ErrStaleTemplateVersion.
+func TestStaleTemplateVersionRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(templatesMagic)
+	for _, v := range []uint32{1, 1, 4, 2} { // version 1, pooled, d=4, 2 classes
+		binary.Write(&buf, binary.LittleEndian, v)
+	}
+	_, err := ReadTemplates(&buf)
+	if !errors.Is(err, ErrStaleTemplateVersion) {
+		t.Fatalf("want ErrStaleTemplateVersion, got %v", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "version 1") {
+		t.Fatalf("error should name the stale version: %v", err)
+	}
+	// Future versions are a different failure, not "stale".
+	buf.Reset()
+	buf.WriteString(templatesMagic)
+	for _, v := range []uint32{99, 1, 4, 2} {
+		binary.Write(&buf, binary.LittleEndian, v)
+	}
+	_, err = ReadTemplates(&buf)
+	if err == nil || errors.Is(err, ErrStaleTemplateVersion) {
+		t.Fatalf("future version should be unsupported, not stale: %v", err)
+	}
+}
+
+func BenchmarkScoreTraceScorer(b *testing.B) {
+	train := synthSet(7, []int{-3, -1, 0, 2, 5}, 60, 24, 0.08)
+	tmpl, err := BuildTemplates(train, DefaultTemplateOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := train.Traces[0]
+	s := tmpl.NewScorer()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ScoreTrace(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScoreTraceMapAPI(b *testing.B) {
+	train := synthSet(7, []int{-3, -1, 0, 2, 5}, 60, 24, 0.08)
+	tmpl, err := BuildTemplates(train, DefaultTemplateOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := train.Traces[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tmpl.LogLikelihoods(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScoreBatch(b *testing.B) {
+	train := synthSet(7, []int{-3, -1, 0, 2, 5}, 60, 24, 0.08)
+	tmpl, err := BuildTemplates(train, DefaultTemplateOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := tmpl.NewScorer()
+	trs := train.Traces[:64]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ScoreBatch(trs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

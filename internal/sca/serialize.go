@@ -3,6 +3,7 @@ package sca
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -15,11 +16,21 @@ import (
 // cost was 220,000 device executions — worth persisting).
 
 const (
-	templatesMagic   = "SCTM"
-	templatesVersion = 1
+	templatesMagic = "SCTM"
+	// templatesVersion 2 adds the precomputed inverse covariance and keeps
+	// the log-determinant, so loading a template never re-inverts a matrix.
+	// Version-1 streams lack those fields and are rejected with
+	// ErrStaleTemplateVersion.
+	templatesVersion = 2
 )
 
-// WriteTemplates serializes a trained template set.
+// ErrStaleTemplateVersion marks a template stream written by an older
+// format that predates the precomputed scoring structures. Re-run
+// profiling to regenerate the templates.
+var ErrStaleTemplateVersion = errors.New("sca: stale template version (re-run profiling to regenerate with precomputed inverse covariance)")
+
+// WriteTemplates serializes a trained template set, including the
+// precomputed inverse covariance and log-determinant of each class.
 func WriteTemplates(w io.Writer, t *Templates) error {
 	if t == nil || len(t.classes) == 0 {
 		return fmt.Errorf("sca: cannot serialize empty templates")
@@ -65,6 +76,9 @@ func WriteTemplates(w io.Writer, t *Templates) error {
 		if err := writeFloats(c.chol.Data); err != nil {
 			return err
 		}
+		if err := writeFloats(c.invCov.Data); err != nil {
+			return err
+		}
 		if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(c.logDet)); err != nil {
 			return err
 		}
@@ -72,7 +86,10 @@ func WriteTemplates(w io.Writer, t *Templates) error {
 	return bw.Flush()
 }
 
-// ReadTemplates deserializes a template set written by WriteTemplates.
+// ReadTemplates deserializes a template set written by WriteTemplates. The
+// cached triangular-solve structures are rebuilt from the stored Cholesky
+// factor; the inverse covariance and log-determinant are loaded as written,
+// so a round-tripped template scores bitwise identically to the original.
 func ReadTemplates(r io.Reader) (*Templates, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, 4)
@@ -89,6 +106,9 @@ func ReadTemplates(r io.Reader) (*Templates, error) {
 		}
 	}
 	if version != templatesVersion {
+		if version < templatesVersion {
+			return nil, fmt.Errorf("%w (got version %d, want %d)", ErrStaleTemplateVersion, version, templatesVersion)
+		}
 		return nil, fmt.Errorf("sca: unsupported version %d", version)
 	}
 	if d == 0 || d > 4096 || nClasses == 0 || nClasses > 4096 {
@@ -133,14 +153,20 @@ func ReadTemplates(r io.Reader) (*Templates, error) {
 		if err != nil {
 			return nil, err
 		}
+		invData, err := readFloats(int(d * d))
+		if err != nil {
+			return nil, err
+		}
 		var ldBits uint64
 		if err := binary.Read(br, binary.LittleEndian, &ldBits); err != nil {
 			return nil, err
 		}
 		chol := &linalg.Matrix{Rows: int(d), Cols: int(d), Data: cholData}
+		invCov := &linalg.Matrix{Rows: int(d), Cols: int(d), Data: invData}
 		t.classes = append(t.classes, classTemplate{
 			label: int(label), count: int(count), mean: mean,
-			chol: chol, logDet: math.Float64frombits(ldBits),
+			chol: chol, fact: linalg.CholFactorOf(chol), invCov: invCov,
+			logDet: math.Float64frombits(ldBits),
 		})
 	}
 	return t, nil

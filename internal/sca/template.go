@@ -32,12 +32,18 @@ func DefaultTemplateOptions() TemplateOptions {
 	return TemplateOptions{POICount: 12, MinSpacing: 2, Ridge: 1e-6, Pooled: true, Selector: "sosd"}
 }
 
-// classTemplate is the per-label multivariate Gaussian.
+// classTemplate is the per-label multivariate Gaussian. Everything needed
+// to score a sub-trace — the cached triangular-solve structures, the
+// inverse covariance, and the log-determinant — is precomputed once at
+// training time (and carried through serialization), so classification
+// never re-factors or re-inverts a covariance.
 type classTemplate struct {
 	label  int
 	count  int
 	mean   []float64
-	chol   *linalg.Matrix // Cholesky factor of the covariance
+	chol   *linalg.Matrix     // Cholesky factor of the covariance
+	fact   *linalg.CholFactor // cached solve structures over chol
+	invCov *linalg.Matrix     // precomputed inverse covariance Σ⁻¹
 	logDet float64
 }
 
@@ -108,12 +114,13 @@ func BuildTemplatesAtPOIs(set *trace.Set, pois []int, opts TemplateOptions) (*Te
 		return nil, fmt.Errorf("sca: need at least 2 classes, got %d", len(labels))
 	}
 
-	// Per-class means.
+	// Per-class means, over one reusable feature buffer.
+	f := make([]float64, d)
 	means := map[int][]float64{}
 	for _, l := range labels {
 		mean := make([]float64, d)
 		for _, idx := range groups[l] {
-			f := Extract(set.Traces[idx], pois)
+			ExtractInto(f, set.Traces[idx], pois)
 			for i, v := range f {
 				mean[i] += v
 			}
@@ -124,21 +131,32 @@ func BuildTemplatesAtPOIs(set *trace.Set, pois []int, opts TemplateOptions) (*Te
 		means[l] = mean
 	}
 
-	// Covariances: pooled or per class.
+	// Covariances: pooled or per class. The scatter update works on row
+	// slices with the centered features computed once per trace — the same
+	// f[j]−mean[j] and di·diff[j] operations, in the same order, as the
+	// historical element-wise At/Set loop.
 	newCov := func() *linalg.Matrix { return linalg.NewMatrix(d, d) }
+	diff := make([]float64, d)
 	accumulate := func(cov *linalg.Matrix, idxs []int, mean []float64) int {
 		for _, idx := range idxs {
-			f := Extract(set.Traces[idx], pois)
+			ExtractInto(f, set.Traces[idx], pois)
+			for j := 0; j < d; j++ {
+				diff[j] = f[j] - mean[j]
+			}
 			for i := 0; i < d; i++ {
-				di := f[i] - mean[i]
+				di := diff[i]
+				row := cov.Data[i*d : (i+1)*d]
 				for j := 0; j < d; j++ {
-					cov.Set(i, j, cov.At(i, j)+di*(f[j]-mean[j]))
+					row[j] += di * diff[j]
 				}
 			}
 		}
 		return len(idxs)
 	}
-	finalize := func(cov *linalg.Matrix, n int) (*linalg.Matrix, float64, error) {
+	// finalize turns an accumulated scatter matrix into the scoring
+	// structures: Cholesky factor, cached solver, inverse covariance and
+	// log-determinant — all computed once here, at training time.
+	finalize := func(cov *linalg.Matrix, n int) (*linalg.Matrix, *linalg.CholFactor, *linalg.Matrix, error) {
 		if n < 2 {
 			n = 2
 		}
@@ -146,13 +164,10 @@ func BuildTemplatesAtPOIs(set *trace.Set, pois []int, opts TemplateOptions) (*Te
 		linalg.RegularizeSPD(cov, opts.Ridge)
 		chol, err := linalg.Cholesky(cov)
 		if err != nil {
-			return nil, 0, fmt.Errorf("sca: covariance not PD (add ridge): %w", err)
+			return nil, nil, nil, fmt.Errorf("sca: covariance not PD (add ridge): %w", err)
 		}
-		logDet := 0.0
-		for i := 0; i < d; i++ {
-			logDet += 2 * math.Log(chol.At(i, i))
-		}
-		return chol, logDet, nil
+		fact := linalg.CholFactorOf(chol)
+		return chol, fact, fact.Inverse(), nil
 	}
 
 	t := &Templates{POIs: append([]int(nil), pois...), pooled: opts.Pooled}
@@ -162,25 +177,28 @@ func BuildTemplatesAtPOIs(set *trace.Set, pois []int, opts TemplateOptions) (*Te
 		for _, l := range labels {
 			total += accumulate(cov, groups[l], means[l])
 		}
-		chol, logDet, err := finalize(cov, total)
+		// One covariance shared by every class: factor and invert once.
+		chol, fact, invCov, err := finalize(cov, total)
 		if err != nil {
 			return nil, err
 		}
 		for _, l := range labels {
 			t.classes = append(t.classes, classTemplate{
-				label: l, count: len(groups[l]), mean: means[l], chol: chol, logDet: logDet,
+				label: l, count: len(groups[l]), mean: means[l],
+				chol: chol, fact: fact, invCov: invCov, logDet: fact.LogDet(),
 			})
 		}
 	} else {
 		for _, l := range labels {
 			cov := newCov()
 			n := accumulate(cov, groups[l], means[l])
-			chol, logDet, err := finalize(cov, n)
+			chol, fact, invCov, err := finalize(cov, n)
 			if err != nil {
 				return nil, fmt.Errorf("sca: class %d: %w", l, err)
 			}
 			t.classes = append(t.classes, classTemplate{
-				label: l, count: n, mean: means[l], chol: chol, logDet: logDet,
+				label: l, count: n, mean: means[l],
+				chol: chol, fact: fact, invCov: invCov, logDet: fact.LogDet(),
 			})
 		}
 	}
@@ -196,77 +214,67 @@ func (t *Templates) Labels() []int {
 	return out
 }
 
-// LogLikelihoods returns the Gaussian log-density of the trace under each
-// class, keyed by label.
-func (t *Templates) LogLikelihoods(tr trace.Trace) (map[int]float64, error) {
-	if len(tr) <= t.POIs[len(t.POIs)-1] {
-		return nil, fmt.Errorf("sca: trace of %d samples shorter than POI range", len(tr))
+// InverseCovariance returns the precomputed inverse covariance Σ⁻¹ of the
+// class with the given label, or nil if the label is unknown. The matrix is
+// shared with the template (and, for pooled templates, across all classes):
+// treat it as read-only.
+func (t *Templates) InverseCovariance(label int) *linalg.Matrix {
+	for i := range t.classes {
+		if t.classes[i].label == label {
+			return t.classes[i].invCov
+		}
 	}
-	f := Extract(tr, t.POIs)
+	return nil
+}
+
+// ClassLogDet returns the precomputed covariance log-determinant of the
+// class with the given label (NaN if the label is unknown).
+func (t *Templates) ClassLogDet(label int) float64 {
+	for i := range t.classes {
+		if t.classes[i].label == label {
+			return t.classes[i].logDet
+		}
+	}
+	return math.NaN()
+}
+
+// LogLikelihoods returns the Gaussian log-density of the trace under each
+// class, keyed by label. It routes through a one-shot Scorer, so the
+// arithmetic — cached-factor Cholesky solve, identical operation order — is
+// exactly what the batch scoring path computes.
+func (t *Templates) LogLikelihoods(tr trace.Trace) (map[int]float64, error) {
+	s := t.NewScorer()
+	ll, err := s.ScoreTrace(tr)
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[int]float64, len(t.classes))
-	d := float64(len(t.POIs))
-	resid := make([]float64, len(f))
-	for _, c := range t.classes {
-		for i := range f {
-			resid[i] = f[i] - c.mean[i]
-		}
-		// Mahalanobis distance via the Cholesky solve.
-		x, err := linalg.SolveCholesky(c.chol, resid)
-		if err != nil {
-			return nil, err
-		}
-		mahal := linalg.Dot(resid, x)
-		out[c.label] = -0.5 * (mahal + c.logDet + d*math.Log(2*math.Pi))
+	for ci := range t.classes {
+		out[t.classes[ci].label] = ll[ci]
 	}
 	return out, nil
 }
 
 // Classify returns the maximum-likelihood label.
 func (t *Templates) Classify(tr trace.Trace) (int, error) {
-	ll, err := t.LogLikelihoods(tr)
+	s := t.NewScorer()
+	ll, err := s.ScoreTrace(tr)
 	if err != nil {
 		return 0, err
 	}
-	best, bestLL := 0, math.Inf(-1)
-	first := true
-	for _, c := range t.classes { // iterate classes for deterministic ties
-		v := ll[c.label]
-		if first || v > bestLL {
-			best, bestLL = c.label, v
-			first = false
-		}
-	}
-	return best, nil
+	return s.ArgMaxLabel(ll), nil
 }
 
 // Probabilities converts log-likelihoods into a posterior over labels via
 // a numerically-stable softmax (uniform prior), the per-measurement score
 // table that Table II reports and the DBDD hints consume.
 func (t *Templates) Probabilities(tr trace.Trace) (map[int]float64, error) {
-	ll, err := t.LogLikelihoods(tr)
+	s := t.NewScorer()
+	ll, err := s.ScoreTrace(tr)
 	if err != nil {
 		return nil, err
 	}
-	max := math.Inf(-1)
-	for _, v := range ll {
-		if v > max {
-			max = v
-		}
-	}
-	// Accumulate in class order, not map order: float addition is not
-	// associative, so a map-order sum would make repeated classifications of
-	// the same trace differ in the last bits.
-	sum := 0.0
-	out := make(map[int]float64, len(ll))
-	for _, c := range t.classes {
-		e := math.Exp(ll[c.label] - max)
-		out[c.label] = e
-		sum += e
-	}
-	for l := range out {
-		out[l] /= sum
-	}
-	return out, nil
+	return s.Posteriors(ll), nil
 }
 
 // CombineProbabilities multiplies independent posteriors (e.g. the V2 value

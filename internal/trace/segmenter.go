@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"reveal/internal/obs"
+)
+
+// FindPeaksInto is FindPeaks writing into a caller-provided index buffer
+// (grown as needed, returned re-sliced). The detection logic — threshold,
+// plateau skip, taller-peak-wins within minDistance — is identical.
+func FindPeaksInto(dst []int, t Trace, threshold float64, minDistance int) []int {
+	if minDistance < 1 {
+		minDistance = 1
+	}
+	peaks := dst[:0]
+	for i := 1; i < len(t)-1; i++ {
+		if t[i] < threshold {
+			continue
+		}
+		if t[i] < t[i-1] || t[i] < t[i+1] {
+			continue
+		}
+		if t[i] == t[i-1] {
+			continue
+		}
+		if len(peaks) > 0 && i-peaks[len(peaks)-1] < minDistance {
+			if t[i] > t[peaks[len(peaks)-1]] {
+				peaks[len(peaks)-1] = i
+			}
+			continue
+		}
+		peaks = append(peaks, i)
+	}
+	return peaks
+}
+
+// ResampleInto stretches or compresses the trace into dst using the exact
+// linear interpolation of Resample, without allocating. It returns dst.
+func (t Trace) ResampleInto(dst Trace) Trace {
+	n := len(dst)
+	if n == 0 {
+		return dst
+	}
+	if len(t) == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
+	}
+	if len(t) == 1 || n == 1 {
+		for i := range dst {
+			dst[i] = t[0]
+		}
+		return dst
+	}
+	scale := float64(len(t)-1) / float64(n-1)
+	for i := 0; i < n; i++ {
+		pos := float64(i) * scale
+		lo := int(pos)
+		if lo >= len(t)-1 {
+			dst[i] = t[len(t)-1]
+			continue
+		}
+		frac := pos - float64(lo)
+		dst[i] = t[lo]*(1-frac) + t[lo+1]*frac
+	}
+	return dst
+}
+
+// Segmenter cuts encryption traces into per-coefficient sub-traces while
+// reusing its peak-index and segment buffers across calls, so the
+// per-trace segmentation of a profiling campaign allocates only the
+// segment views themselves. One Segmenter serves one goroutine.
+type Segmenter struct {
+	peaks []int
+	segs  []Segment
+}
+
+// NewSegmenter returns a Segmenter sized for traces with about the given
+// number of coefficients (a hint; buffers grow as needed).
+func NewSegmenter(coeffHint int) *Segmenter {
+	if coeffHint < 0 {
+		coeffHint = 0
+	}
+	return &Segmenter{
+		peaks: make([]int, 0, coeffHint),
+		segs:  make([]Segment, 0, coeffHint),
+	}
+}
+
+// Segment performs the §III-C procedure of SegmentEncryptionTrace over the
+// reusable buffers. The returned segments are views into t — no samples
+// are copied — and the slice is owned by the Segmenter: both are
+// invalidated by the next Segment call. Callers that need the sub-traces
+// to outlive t or the Segmenter must Clone them.
+func (sg *Segmenter) Segment(t Trace, want int, minDistance int) ([]Segment, error) {
+	if len(t) == 0 {
+		return nil, fmt.Errorf("trace: cannot segment an empty trace")
+	}
+	if want < 1 {
+		return nil, fmt.Errorf("trace: want %d segments, need at least 1", want)
+	}
+	thr := AutoThreshold(t, 0.5)
+	sg.peaks = FindPeaksInto(sg.peaks, t, thr, minDistance)
+	if len(sg.peaks) != want {
+		return nil, fmt.Errorf("trace: found %d sampling peaks, want %d (threshold %.3f)",
+			len(sg.peaks), want, thr)
+	}
+	segs := sg.segs[:0]
+	for k, p := range sg.peaks {
+		end := len(t)
+		if k+1 < len(sg.peaks) {
+			end = sg.peaks[k+1]
+		}
+		if p >= end {
+			return nil, fmt.Errorf("trace: invalid peak ordering at %d", k)
+		}
+		segs = append(segs, Segment{Start: p, End: end, Samples: t[p:end]})
+	}
+	sg.segs = segs
+	return segs, nil
+}
+
+// SegmentSetParallel segments many encryption traces concurrently, one
+// reusable Segmenter per worker, returning the per-trace segment lists in
+// input order. Segments are copies (not views), so they stay valid
+// independently of the inputs. workers ≤ 0 means GOMAXPROCS. The first
+// failing trace aborts the whole batch.
+func SegmentSetParallel(traces []Trace, want, minDistance, workers int) ([][]Segment, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(traces) {
+		workers = len(traces)
+	}
+	sp := obs.StartSpan("segment")
+	defer sp.End()
+	out := make([][]Segment, len(traces))
+	if len(traces) == 0 {
+		return out, nil
+	}
+	var (
+		wg       sync.WaitGroup
+		firstErr error
+		next     int
+		mu       sync.Mutex
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sg := NewSegmenter(want)
+			for {
+				mu.Lock()
+				i, failed := next, firstErr != nil
+				next++
+				mu.Unlock()
+				if failed || i >= len(traces) {
+					return
+				}
+				segs, err := sg.Segment(traces[i], want, minDistance)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("trace: segmenting trace %d: %w", i, err)
+					}
+					mu.Unlock()
+					return
+				}
+				// Own copies: the Segmenter's views die on its next call.
+				own := make([]Segment, len(segs))
+				for k, s := range segs {
+					own[k] = Segment{Start: s.Start, End: s.End, Samples: s.Samples.Clone()}
+				}
+				out[i] = own
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	sp.AddItems(len(traces) * want)
+	return out, nil
+}

@@ -1,0 +1,210 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// spikedTrace builds a synthetic encryption trace with `coeffs` port
+// spikes separated by gap samples (plus jitter from the seed).
+func spikedTrace(coeffs, gap int, seed uint64) Trace {
+	tr := make(Trace, 0, coeffs*(gap+1)+gap)
+	s := seed
+	noise := func() float64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return float64(int64(s>>40)) / float64(1<<25) * 0.05
+	}
+	for i := 0; i < gap; i++ {
+		tr = append(tr, 0.1+noise())
+	}
+	for c := 0; c < coeffs; c++ {
+		tr = append(tr, 4.0+noise())
+		extra := int(s>>60) % 3
+		for i := 0; i < gap+extra; i++ {
+			tr = append(tr, 0.1+noise())
+		}
+	}
+	return tr
+}
+
+// TestSegmenterMatchesSegmentEncryptionTrace: the buffer-reusing segmenter
+// must produce the same boundaries and bitwise-equal samples as the
+// allocating path, across repeated reuse.
+func TestSegmenterMatchesSegmentEncryptionTrace(t *testing.T) {
+	sg := NewSegmenter(8)
+	for rep := 0; rep < 5; rep++ {
+		coeffs := 5 + rep
+		tr := spikedTrace(coeffs, 12, uint64(rep)*31+7)
+		want, err := SegmentEncryptionTrace(tr, coeffs, 8)
+		if err != nil {
+			t.Fatalf("rep %d: reference: %v", rep, err)
+		}
+		got, err := sg.Segment(tr, coeffs, 8)
+		if err != nil {
+			t.Fatalf("rep %d: segmenter: %v", rep, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("rep %d: %d segments, want %d", rep, len(got), len(want))
+		}
+		for k := range want {
+			if got[k].Start != want[k].Start || got[k].End != want[k].End {
+				t.Fatalf("rep %d seg %d: bounds [%d,%d), want [%d,%d)", rep, k,
+					got[k].Start, got[k].End, want[k].Start, want[k].End)
+			}
+			for i := range want[k].Samples {
+				if math.Float64bits(got[k].Samples[i]) != math.Float64bits(want[k].Samples[i]) {
+					t.Fatalf("rep %d seg %d sample %d drifted", rep, k, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSegmenterErrors(t *testing.T) {
+	sg := NewSegmenter(4)
+	if _, err := sg.Segment(Trace{}, 4, 8); err == nil {
+		t.Error("empty trace should fail")
+	}
+	if _, err := sg.Segment(Trace{1, 2, 3}, 0, 8); err == nil {
+		t.Error("want 0 should fail")
+	}
+	flat := make(Trace, 64)
+	if _, err := sg.Segment(flat, 4, 8); err == nil {
+		t.Error("flat trace should fail peak-count check")
+	}
+	if sg := NewSegmenter(-3); cap(sg.peaks) != 0 {
+		t.Error("negative hint should clamp to zero")
+	}
+}
+
+func TestFindPeaksIntoMatchesFindPeaks(t *testing.T) {
+	tr := spikedTrace(9, 10, 99)
+	thr := AutoThreshold(tr, 0.5)
+	want := FindPeaks(tr, thr, 8)
+	buf := make([]int, 0, 2)
+	got := FindPeaksInto(buf, tr, thr, 8)
+	if len(got) != len(want) {
+		t.Fatalf("%d peaks, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("peak %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// minDistance clamp matches too.
+	if a, b := FindPeaks(tr, thr, 0), FindPeaksInto(nil, tr, thr, 0); len(a) != len(b) {
+		t.Fatalf("clamped minDistance disagrees: %d vs %d", len(a), len(b))
+	}
+}
+
+func TestResampleIntoMatchesResample(t *testing.T) {
+	tr := spikedTrace(4, 9, 3)
+	for _, n := range []int{1, 2, 7, len(tr), len(tr) * 2} {
+		want := tr.Resample(n)
+		dst := make(Trace, n)
+		got := tr.ResampleInto(dst)
+		for i := range want {
+			if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+				t.Fatalf("n=%d sample %d: %x, want %x", n, i,
+					math.Float64bits(got[i]), math.Float64bits(want[i]))
+			}
+		}
+	}
+	// Degenerate inputs.
+	if got := (Trace{}).ResampleInto(make(Trace, 3)); got[0] != 0 || got[2] != 0 {
+		t.Errorf("empty source should zero-fill, got %v", got)
+	}
+	if got := (Trace{5}).ResampleInto(make(Trace, 3)); got[0] != 5 || got[2] != 5 {
+		t.Errorf("single-sample source should broadcast, got %v", got)
+	}
+	if got := (Trace{1, 2}).ResampleInto(Trace{}); len(got) != 0 {
+		t.Errorf("empty destination should stay empty")
+	}
+}
+
+func TestSegmentSetParallelMatchesSerial(t *testing.T) {
+	const coeffs = 6
+	traces := make([]Trace, 9)
+	for i := range traces {
+		traces[i] = spikedTrace(coeffs, 11, uint64(i)*131+1)
+	}
+	for _, workers := range []int{0, 1, 3, 16} {
+		got, err := SegmentSetParallel(traces, coeffs, 8, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, tr := range traces {
+			want, err := SegmentEncryptionTrace(tr, coeffs, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got[i]) != len(want) {
+				t.Fatalf("workers=%d trace %d: %d segments, want %d", workers, i, len(got[i]), len(want))
+			}
+			for k := range want {
+				if got[i][k].Start != want[k].Start || got[i][k].End != want[k].End {
+					t.Fatalf("workers=%d trace %d seg %d bounds mismatch", workers, i, k)
+				}
+				for j := range want[k].Samples {
+					if math.Float64bits(got[i][k].Samples[j]) != math.Float64bits(want[k].Samples[j]) {
+						t.Fatalf("workers=%d trace %d seg %d sample %d drifted", workers, i, k, j)
+					}
+				}
+			}
+		}
+	}
+	// Empty input.
+	if out, err := SegmentSetParallel(nil, coeffs, 8, 4); err != nil || len(out) != 0 {
+		t.Fatalf("empty input: %v, %d", err, len(out))
+	}
+}
+
+func TestSegmentSetParallelError(t *testing.T) {
+	traces := []Trace{
+		spikedTrace(6, 11, 1),
+		make(Trace, 64), // flat: no peaks
+		spikedTrace(6, 11, 2),
+	}
+	_, err := SegmentSetParallel(traces, 6, 8, 2)
+	if err == nil {
+		t.Fatal("flat trace should fail the batch")
+	}
+	if !strings.Contains(err.Error(), "trace 1") {
+		t.Fatalf("error should name the failing trace: %v", err)
+	}
+}
+
+func BenchmarkSegmentAllocating(b *testing.B) {
+	tr := spikedTrace(65, 14, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SegmentEncryptionTrace(tr, 65, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSegmentReused(b *testing.B) {
+	tr := spikedTrace(65, 14, 5)
+	sg := NewSegmenter(65)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sg.Segment(tr, 65, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSegmentSetParallel(b *testing.B) {
+	traces := make([]Trace, 16)
+	for i := range traces {
+		traces[i] = spikedTrace(65, 14, uint64(i)+1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SegmentSetParallel(traces, 65, 8, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
