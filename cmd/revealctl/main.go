@@ -10,8 +10,9 @@
 //	revealctl profile [-o FILE] [-seed S]
 //	revealctl diagnose [-seed S] [-traces N] [-curves] [-json]
 //	revealctl compare [-tol T] [-metric-tol name=T] [-gate-perf] OLD NEW
-//	revealctl submit [-addr URL] [-spec FILE | -kind K -seed S ...] [-wait]
+//	revealctl submit [-addr URL] [-spec FILE | -kind K -seed S ...] [-tenant T] [-wait]
 //	revealctl status [-addr URL] [-id ID] [-result] [-json]
+//	revealctl top [-addr URL] [-interval DUR] [-n N]
 //	revealctl selftest [-seed S] [-workers N] [-json] [-q]
 //
 // Every subcommand accepts the observability flags:
@@ -57,6 +58,8 @@ func main() {
 		err = runSubmit(os.Args[2:])
 	case "status":
 		err = runStatus(os.Args[2:])
+	case "top":
+		err = runTop(os.Args[2:])
 	case "selftest":
 		err = runSelftest(os.Args[2:])
 	default:
@@ -81,6 +84,7 @@ commands:
   compare  diff two manifest.json/BENCH_*.json files; exit 1 on regression
   submit   post a campaign spec to a running reveald daemon
   status   list a reveald daemon's jobs or show one job's status/result
+  top      live terminal dashboard over a running reveald (queue, workers, events)
   selftest replay-determinism gate: serial vs parallel attack, digest printed
 
 observability (all commands):

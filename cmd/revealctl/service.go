@@ -40,6 +40,7 @@ func parseSubmitArgs(args []string, stdin io.Reader, stderr io.Writer) (*submitC
 	workers := fs.Int("workers", 0, "classification goroutines (0 = daemon default)")
 	attempts := fs.Int("attempts", 0, "job attempt budget (0 = daemon default)")
 	timeout := fs.Duration("timeout", 0, "job deadline covering queue wait and retries (0 = none)")
+	tenant := fs.String("tenant", "", "tenant identity recorded on the job (per-tenant metrics)")
 	fs.BoolVar(&cfg.Wait, "wait", false, "poll until the campaign finishes and print its result")
 	fs.DurationVar(&cfg.Poll, "poll", 500*time.Millisecond, "poll interval with -wait")
 	if err := fs.Parse(args); err != nil {
@@ -70,6 +71,7 @@ func parseSubmitArgs(args []string, stdin io.Reader, stderr io.Writer) (*submitC
 			Workers:               *workers,
 			MaxAttempts:           *attempts,
 			TimeoutMS:             int(timeout.Milliseconds()),
+			Tenant:                *tenant,
 		}
 	}
 	if err := cfg.Spec.Normalize(); err != nil {
@@ -94,6 +96,12 @@ func runSubmit(args []string) error {
 		return err
 	}
 	fmt.Printf("submitted %s (%s, seed %d): %s\n", st.ID, st.Kind, spec.Seed, st.State)
+	if st.TraceID != "" {
+		// The same ID appears in the daemon's log lines, /events journal,
+		// per-job manifest/run.log/trace.json, and the X-Reveal-Trace-Id
+		// response header — grep any of them with it.
+		fmt.Printf("trace %s\n", st.TraceID)
+	}
 	if !cfg.Wait {
 		fmt.Printf("poll with: revealctl status -addr %s -id %s\n", cfg.Addr, st.ID)
 		return nil
@@ -172,6 +180,12 @@ func runStatus(args []string) error {
 // printStatus renders one job line.
 func printStatus(st jobs.Status) {
 	line := fmt.Sprintf("%s  %-8s %-8s attempt %d/%d", st.ID, st.Kind, st.State, st.Attempts, st.MaxAttempts)
+	if st.TraceID != "" {
+		line += "  trace " + st.TraceID
+	}
+	if st.QueueWaitSeconds > 0 || st.RunSeconds > 0 {
+		line += fmt.Sprintf("  wait %.3fs run %.3fs", st.QueueWaitSeconds, st.RunSeconds)
+	}
 	if st.FinishedAt != nil {
 		line += fmt.Sprintf("  finished %s", st.FinishedAt.Format(time.RFC3339))
 	}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"reveal/internal/obs"
+	"reveal/internal/service"
+)
+
+// runTop implements `revealctl top`: a polling terminal dashboard over a
+// running reveald — queue depth, worker utilization, per-kind throughput
+// and latency quantiles, and the tail of the service event journal.
+func runTop(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:9090", "reveald base URL")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
+	iterations := fs.Int("n", 0, "number of refreshes before exiting (0 = until interrupted)")
+	events := fs.Int("events", 10, "recent journal events to show")
+	noClear := fs.Bool("no-clear", false, "append frames instead of redrawing the screen")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *interval <= 0 {
+		*interval = 2 * time.Second
+	}
+	client := service.NewClient(*addr)
+	ctx := context.Background()
+
+	var recent []obs.ServiceEvent
+	var cursor int64
+	for i := 0; *iterations == 0 || i < *iterations; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		stats, err := client.StatsFull(ctx)
+		if err != nil {
+			return fmt.Errorf("fetching stats from %s: %w", *addr, err)
+		}
+		// The journal endpoint is optional (events can be disabled); a 404
+		// just leaves the events pane empty.
+		if ev, err := client.Events(ctx, cursor, *events, 0); err == nil {
+			cursor = ev.NextSeq
+			recent = append(recent, ev.Events...)
+			if len(recent) > *events {
+				recent = recent[len(recent)-*events:]
+			}
+		}
+		if !*noClear {
+			// Home the cursor and clear: a flicker-free redraw in any ANSI
+			// terminal without external dependencies.
+			fmt.Print("\033[H\033[2J")
+		}
+		renderTop(os.Stdout, *addr, stats, recent)
+	}
+	return nil
+}
+
+// renderTop writes one dashboard frame.
+func renderTop(w io.Writer, addr string, stats service.StatsResponse, events []obs.ServiceEvent) {
+	fmt.Fprintf(w, "reveald %s  up %s  %s\n\n", addr,
+		time.Duration(stats.UptimeSeconds*float64(time.Second)).Truncate(time.Second),
+		time.Now().Format("15:04:05"))
+	fmt.Fprintf(w, "workers %d/%d busy   queue %d queued / %d running   templates cached %d\n\n",
+		stats.WorkersBusy, stats.Workers, stats.Queued, stats.Running, stats.CachedTemplates)
+
+	if len(stats.Kinds) > 0 {
+		fmt.Fprintf(w, "%-10s %9s %6s %6s %7s %6s %6s  %8s %8s %8s\n",
+			"KIND", "SUBMITTED", "DONE", "FAIL", "RETRIED", "QUEUED", "RUN", "p50", "p95", "p99")
+		for _, ks := range stats.Kinds {
+			lat := stats.AttemptLatency[ks.Kind]
+			fmt.Fprintf(w, "%-10s %9d %6d %6d %7d %6d %6d  %8s %8s %8s\n",
+				ks.Kind, ks.Submitted, ks.Done, ks.Failed, ks.Retried, ks.Queued, ks.Running,
+				fmtSeconds(lat.P50), fmtSeconds(lat.P95), fmtSeconds(lat.P99))
+			if qw, ok := stats.QueueWait[ks.Kind]; ok && qw.Count > 0 {
+				fmt.Fprintf(w, "%-10s %51s  %8s %8s %8s\n",
+					"", "queue wait:", fmtSeconds(qw.P50), fmtSeconds(qw.P95), fmtSeconds(qw.P99))
+			}
+		}
+		fmt.Fprintln(w)
+	}
+
+	if len(events) > 0 {
+		fmt.Fprintln(w, "recent events:")
+		for _, ev := range events {
+			line := fmt.Sprintf("  %s  %-13s %s", ev.Time.Format("15:04:05"), ev.Type, ev.JobID)
+			if ev.Kind != "" {
+				line += " " + ev.Kind
+			}
+			if ev.Tenant != "" {
+				line += " tenant=" + ev.Tenant
+			}
+			if ev.TraceID != "" {
+				line += " trace=" + ev.TraceID
+			}
+			if ev.Detail != "" {
+				line += "  " + ev.Detail
+			}
+			fmt.Fprintln(w, strings.TrimRight(line, " "))
+		}
+	}
+}
+
+// fmtSeconds renders a latency value compactly ("-" when unobserved).
+func fmtSeconds(s float64) string {
+	switch {
+	case s <= 0:
+		return "-"
+	case s < 1e-3:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.1fms", s*1e3)
+	case s < 60:
+		return fmt.Sprintf("%.2fs", s)
+	default:
+		return time.Duration(s * float64(time.Second)).Truncate(time.Second).String()
+	}
+}

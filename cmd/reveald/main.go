@@ -22,19 +22,30 @@
 //	GET    /api/v1/campaigns/{id}        job status
 //	GET    /api/v1/campaigns/{id}/result result of a finished job
 //	DELETE /api/v1/campaigns/{id}        cancel a job
-//	GET    /api/v1/stats                 queue depth, running jobs, cache size
-//	/metrics /progress /healthz /debug/pprof  (observability layer)
+//	GET    /api/v1/stats                 queue/worker stats, per-kind latency
+//	/metrics /progress /healthz /readyz /events /debug/pprof  (observability)
 //
-// On SIGTERM/SIGINT the daemon stops accepting submissions, lets running
-// jobs finish for up to -drain-timeout, then cancels them and exits.
+// Every request carries a trace identity: an X-Reveal-Trace-Id header is
+// adopted (or minted) by the HTTP layer, echoed on the response, and
+// propagated through the queue into the worker — the same ID appears in
+// log lines, the /events journal, the per-job manifest, run.log, and the
+// trace.json flow events.
+//
+// On SIGTERM/SIGINT the daemon flips /readyz to 503 (load balancers stop
+// routing), stops accepting submissions, lets running jobs finish for up
+// to -drain-timeout, then cancels them and exits. With -data-dir the
+// service journal is additionally appended to <data-dir>/events.jsonl.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -73,8 +84,31 @@ func run(args []string) error {
 		Logger: obs.NewLogger(obs.LogOptions{
 			Level: obs.ParseLevel(*logLevel), JSON: *logJSON, Output: os.Stderr,
 		}),
+		// A daemon traces indefinitely: the ring overwrites the oldest span
+		// events so per-job trace.json exports always cover recent jobs.
+		TraceCapacity: obs.DefaultTraceCapacity,
+		TraceRing:     true,
+		EventCapacity: 4096,
 	})
 	obs.SetGlobal(rec)
+
+	var eventsFile *os.File
+	if *dataDir != "" {
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			return fmt.Errorf("creating data dir: %w", err)
+		}
+		f, err := os.OpenFile(filepath.Join(*dataDir, "events.jsonl"),
+			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("creating events.jsonl: %w", err)
+		}
+		eventsFile = f
+		rec.Events().AttachSink(f)
+		defer func() {
+			rec.Events().CloseSink()
+			_ = eventsFile.Close()
+		}()
+	}
 
 	if *selftest {
 		report, err := core.Selftest(context.Background(), 1, *classifyWorkers)
@@ -99,7 +133,20 @@ func run(args []string) error {
 		CacheCapacity:   *cacheCap,
 		DataDir:         *dataDir,
 	})
-	srv, err := obs.ServeMetricsWith(rec, *addr, svc.Handler())
+	// draining flips before the pool drains so load balancers watching
+	// /readyz stop routing while running jobs are still finishing.
+	var draining atomic.Bool
+	srv, err := obs.ServeMetricsCfg(rec, *addr, obs.ServeConfig{
+		API:        svc.Handler(),
+		APIRoute:   service.RouteLabel,
+		Instrument: true,
+		Ready: func(context.Context) error {
+			if draining.Load() {
+				return errors.New("draining")
+			}
+			return nil
+		},
+	})
 	if err != nil {
 		return fmt.Errorf("binding %s: %w", *addr, err)
 	}
@@ -112,11 +159,18 @@ func run(args []string) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
 	s := <-sig
+	draining.Store(true)
+	obs.Emit(obs.ServiceEvent{Type: obs.EventDrainStarted, Detail: s.String()})
 	obs.Log().Info("shutting down", "signal", s.String(), "drain_timeout", *drainTimeout)
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	drainErr := svc.Shutdown(ctx)
+	detail := "clean"
+	if drainErr != nil {
+		detail = drainErr.Error()
+	}
+	obs.Emit(obs.ServiceEvent{Type: obs.EventDrainDone, Detail: detail})
 	httpCtx, httpCancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer httpCancel()
 	if err := srv.Shutdown(httpCtx); err != nil {

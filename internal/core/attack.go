@@ -28,7 +28,14 @@ type EncryptionCapture struct {
 // "single power measurement" of the paper (one trace per error polynomial,
 // captured within the same encryption).
 func CaptureEncryption(dev *Device, params *bfv.Parameters, enc *bfv.Encryptor, pt *bfv.Plaintext) (*EncryptionCapture, error) {
-	sp := obs.StartSpan("capture_encryption")
+	return CaptureEncryptionCtx(context.Background(), dev, params, enc, pt)
+}
+
+// CaptureEncryptionCtx is CaptureEncryption carrying the caller's trace
+// identity: the capture span is stamped with the request trace ID from ctx
+// (service path), so per-job trace exports include the capture stage.
+func CaptureEncryptionCtx(ctx context.Context, dev *Device, params *bfv.Parameters, enc *bfv.Encryptor, pt *bfv.Plaintext) (*EncryptionCapture, error) {
+	sp := obs.StartSpanCtx(ctx, "capture_encryption")
 	sp.AddItems(2) // two sampling traces per encryption (e1, e2)
 	defer sp.End()
 	ct, tr, err := enc.EncryptWithTranscript(pt)
@@ -96,7 +103,7 @@ func (c *CoefficientClassifier) AttackCtx(ctx context.Context, cap *EncryptionCa
 // AttackWithOptions runs the single-trace attack with explicit concurrency
 // options. It is the full entry point behind Attack/AttackCtx.
 func (c *CoefficientClassifier) AttackWithOptions(ctx context.Context, cap *EncryptionCapture, n int, opts AttackOptions) (*AttackOutcome, error) {
-	sp := obs.StartSpan("attack")
+	sp := obs.StartSpanCtx(ctx, "attack")
 	sp.AddItems(2 * n)
 	defer sp.End()
 	attackOne := func(poly string, tr trace.Trace) (*AttackResult, error) {
@@ -108,7 +115,7 @@ func (c *CoefficientClassifier) AttackWithOptions(ctx context.Context, cap *Encr
 		}
 		// Zero-copy segmentation: the segment views only need to live for
 		// the classification below, and tr outlives it.
-		ssp := obs.StartSpan("segment")
+		ssp := obs.StartSpanCtx(ctx, "segment")
 		sg := trace.NewSegmenter(n + 1)
 		segs, err := sg.Segment(tr, n+1, 8)
 		if err != nil {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"time"
 
 	"reveal/internal/obs"
 )
@@ -159,6 +160,7 @@ func (c *TemplateCache) GetOrTrain(ctx context.Context, key string,
 	c.mu.Unlock()
 	reg.Counter(MetricTemplateCacheMisses).Inc()
 
+	trainStart := time.Now()
 	cls, err := train(ctx)
 	c.mu.Lock()
 	delete(c.inflight, key)
@@ -166,6 +168,13 @@ func (c *TemplateCache) GetOrTrain(ctx context.Context, key string,
 		c.put(key, cls)
 	}
 	c.mu.Unlock()
+	if err == nil {
+		obs.Emit(obs.ServiceEvent{
+			Type:    obs.EventCacheFill,
+			TraceID: obs.TraceIDFrom(ctx),
+			Detail:  fmt.Sprintf("trained %s in %.2fs", key, time.Since(trainStart).Seconds()),
+		})
+	}
 	call.cls, call.err = cls, err
 	close(call.done)
 	if err != nil {

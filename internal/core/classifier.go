@@ -94,7 +94,7 @@ func (c *CoefficientClassifier) AttackSegments(segs []trace.Segment) (*AttackRes
 // AttackSegmentsCtx is AttackSegments with cancellation: the loop checks
 // ctx between coefficients and aborts early once it is done.
 func (c *CoefficientClassifier) AttackSegmentsCtx(ctx context.Context, segs []trace.Segment) (*AttackResult, error) {
-	sp := obs.StartSpan("classify")
+	sp := obs.StartSpanCtx(ctx, "classify")
 	sp.AddItems(len(segs))
 	defer sp.End()
 	res := &AttackResult{

@@ -71,7 +71,7 @@ func Diagnose(dev *Device, opts DiagnosticsOptions) (*DiagnosticsReport, error) 
 // DiagnoseCtx is Diagnose with cancellation, checked at every stage
 // boundary (collection runs, training, and between set assessments).
 func DiagnoseCtx(ctx context.Context, dev *Device, opts DiagnosticsOptions) (*DiagnosticsReport, error) {
-	sp := obs.StartSpan("diagnose")
+	sp := obs.StartSpanCtx(ctx, "diagnose")
 	defer sp.End()
 	sets, err := CollectProfilingSetsCtx(ctx, dev, opts.Profile, sp)
 	if err != nil {

@@ -1,6 +1,10 @@
 package core
 
-import "reveal/internal/obs"
+import (
+	"context"
+
+	"reveal/internal/obs"
+)
 
 // EmitCoeffEvents journals one per-coefficient CoeffEvent for every position
 // of an attack result, scored against the ground-truth coefficients the
@@ -9,10 +13,20 @@ import "reveal/internal/obs"
 // classification-quality metrics. No-op (and zero cost) when observability
 // is disabled.
 func EmitCoeffEvents(poly string, res *AttackResult, truth []int64) {
+	EmitCoeffEventsCtx(context.Background(), poly, res, truth)
+}
+
+// EmitCoeffEventsCtx is EmitCoeffEvents carrying the caller's trace
+// identity: each journaled CoeffEvent is stamped with the request trace ID
+// from ctx. Outside the service path the ID is empty and (being omitempty)
+// leaves the coeffs.jsonl byte stream — and thus the selftest digest —
+// unchanged.
+func EmitCoeffEventsCtx(ctx context.Context, poly string, res *AttackResult, truth []int64) {
 	rec := obs.Global()
 	if rec == nil {
 		return
 	}
+	traceID := obs.TraceIDFrom(ctx)
 	n := len(res.Values)
 	if len(truth) < n {
 		n = len(truth)
@@ -21,6 +35,7 @@ func EmitCoeffEvents(poly string, res *AttackResult, truth []int64) {
 		tv := int(truth[i])
 		margin, entropy, rank := obs.PosteriorStats(res.Probs[i], tv)
 		rec.RecordCoeff(obs.CoeffEvent{
+			TraceID:     traceID,
 			Poly:        poly,
 			Index:       i,
 			True:        tv,
@@ -37,9 +52,15 @@ func EmitCoeffEvents(poly string, res *AttackResult, truth []int64) {
 // EmitOutcomeEvents journals both polynomials of an attack outcome against
 // the capture's transcript.
 func EmitOutcomeEvents(out *AttackOutcome, cap *EncryptionCapture) {
+	EmitOutcomeEventsCtx(context.Background(), out, cap)
+}
+
+// EmitOutcomeEventsCtx is EmitOutcomeEvents with trace-identity
+// propagation from ctx.
+func EmitOutcomeEventsCtx(ctx context.Context, out *AttackOutcome, cap *EncryptionCapture) {
 	if cap.Truth == nil {
 		return
 	}
-	EmitCoeffEvents("e1", out.E1, cap.Truth.E1)
-	EmitCoeffEvents("e2", out.E2, cap.Truth.E2)
+	EmitCoeffEventsCtx(ctx, "e1", out.E1, cap.Truth.E1)
+	EmitCoeffEventsCtx(ctx, "e2", out.E2, cap.Truth.E2)
 }

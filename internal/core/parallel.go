@@ -38,7 +38,7 @@ func (c *CoefficientClassifier) AttackSegmentsParallel(ctx context.Context, segs
 	if workers > len(segs) {
 		workers = len(segs)
 	}
-	sp := obs.StartSpan("classify")
+	sp := obs.StartSpanCtx(ctx, "classify")
 	sp.AddItems(len(segs))
 	defer sp.End()
 

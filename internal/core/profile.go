@@ -81,7 +81,7 @@ func Profile(dev *Device, opts ProfileOptions) (*CoefficientClassifier, error) {
 // ProfileCtx is Profile with cancellation: the collection loop and the
 // training stage both abort at the next stage boundary once ctx is done.
 func ProfileCtx(ctx context.Context, dev *Device, opts ProfileOptions) (*CoefficientClassifier, error) {
-	sp := obs.StartSpan("profile")
+	sp := obs.StartSpanCtx(ctx, "profile")
 	defer sp.End()
 	sets, err := CollectProfilingSetsCtx(ctx, dev, opts, sp)
 	if err != nil {

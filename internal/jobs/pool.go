@@ -97,6 +97,14 @@ func (p *Pool) setBusy(delta int) {
 	obs.Global().Registry().Gauge(MetricWorkersBusy).Set(float64(busy))
 }
 
+// Stats returns the pool size and the number of workers currently
+// executing a job (for /api/v1/stats and the top dashboard).
+func (p *Pool) Stats() (workers, busy int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.workers, p.busy
+}
+
 // work is one worker's claim/execute loop.
 func (p *Pool) work(id int) {
 	for {
@@ -136,7 +144,19 @@ func (p *Pool) runOne(id int, job *Job) {
 	p.setBusy(1)
 	defer p.setBusy(-1)
 
-	ctx, cancel := context.WithCancel(context.Background())
+	base := context.Background()
+	if job.TraceID != "" {
+		// The job carries the request's trace identity across the queue
+		// boundary: every span, log line, and coefficient event the runner
+		// produces under this context is stamped with the same trace ID the
+		// HTTP client saw in its response header.
+		base = obs.WithTraceContext(base, obs.TraceContext{TraceID: job.TraceID})
+		obs.FlowEvent(job.TraceID, obs.FlowStep, "attempt", map[string]any{
+			"job_id": job.ID, "attempt": job.Attempts, "worker": id,
+			"queue_wait_seconds": job.StartedAt.Sub(job.SubmittedAt).Seconds(),
+		})
+	}
+	ctx, cancel := context.WithCancel(base)
 	if !job.Deadline.IsZero() {
 		var dcancel context.CancelFunc
 		ctx, dcancel = context.WithDeadline(ctx, job.Deadline)
@@ -160,7 +180,7 @@ func (p *Pool) runOne(id int, job *Job) {
 		}
 	}()
 
-	sp := obs.StartSpan("job")
+	sp := obs.StartSpanCtx(ctx, "job")
 	sp.AddItems(1)
 	result, err := func() (res any, err error) {
 		defer func() {

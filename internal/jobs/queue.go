@@ -29,11 +29,22 @@ const (
 
 // Queue metric names (global obs registry).
 const (
-	MetricQueueDepth   = "reveal_jobs_queue_depth"
-	MetricJobsRunning  = "reveal_jobs_running"
-	MetricJobsTotal    = "reveal_jobs_total" // labeled {state="submitted|done|failed|retried"}
-	MetricWorkersTotal = "reveal_workers_total"
-	MetricWorkersBusy  = "reveal_workers_busy"
+	MetricQueueDepth      = "reveal_jobs_queue_depth"
+	MetricJobsRunning     = "reveal_jobs_running"
+	MetricJobsTotal       = "reveal_jobs_total" // labeled {state="submitted|done|failed|retried"}
+	MetricWorkersTotal    = "reveal_workers_total"
+	MetricWorkersBusy     = "reveal_workers_busy"
+	MetricQueueWait       = "reveal_jobs_queue_wait_seconds"       // labeled {kind=...}
+	MetricAttemptDuration = "reveal_jobs_attempt_duration_seconds" // labeled {kind=...}
+	MetricTenantJobs      = "reveal_tenant_jobs_total"             // labeled {tenant=...}
+)
+
+// Label cardinality caps for the queue's metric vectors. Job kinds are a
+// small fixed set; tenants are caller-controlled strings, so past the cap
+// new tenants collapse onto the obs.OverflowLabel series.
+const (
+	maxKindLabels   = 16
+	maxTenantLabels = 64
 )
 
 // Spec describes one job at submission time.
@@ -48,6 +59,13 @@ type Spec struct {
 	// Timeout. The deadline is absolute: it covers queue wait, every
 	// attempt, and every backoff pause.
 	Timeout time.Duration
+	// TraceID is the request trace identity minted (or adopted) by the HTTP
+	// layer; the queue stamps it on every event, log line, and flow event
+	// the job produces.
+	TraceID string
+	// Tenant attributes the job to a client identity for the per-tenant
+	// counters ("" = untagged).
+	Tenant string
 }
 
 // Job is one queued campaign. All fields are owned by the queue and must
@@ -56,6 +74,8 @@ type Spec struct {
 type Job struct {
 	ID          string
 	Kind        string
+	TraceID     string
+	Tenant      string
 	Payload     any
 	State       State
 	Attempts    int
@@ -63,6 +83,10 @@ type Job struct {
 	SubmittedAt time.Time
 	StartedAt   time.Time
 	FinishedAt  time.Time
+	// FirstClaimedAt marks the first time a worker claimed the job; the gap
+	// from SubmittedAt is the queue wait, the gap to FinishedAt is the run
+	// time (retries and backoff included).
+	FirstClaimedAt time.Time
 	// NotBefore gates retried jobs until their backoff expires.
 	NotBefore time.Time
 	// Deadline, when non-zero, fails the job once passed (queued or
@@ -80,6 +104,8 @@ type Job struct {
 type Status struct {
 	ID          string     `json:"id"`
 	Kind        string     `json:"kind"`
+	TraceID     string     `json:"trace_id,omitempty"`
+	Tenant      string     `json:"tenant,omitempty"`
 	State       State      `json:"state"`
 	Attempts    int        `json:"attempts"`
 	MaxAttempts int        `json:"max_attempts"`
@@ -88,8 +114,13 @@ type Status struct {
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
 	NotBefore   *time.Time `json:"not_before,omitempty"`
 	Deadline    *time.Time `json:"deadline,omitempty"`
-	Error       string     `json:"error,omitempty"`
-	Result      any        `json:"result,omitempty"`
+	// QueueWaitSeconds is submission → first claim (absent while queued).
+	QueueWaitSeconds float64 `json:"queue_wait_seconds,omitempty"`
+	// RunSeconds is first claim → finish, covering every attempt and
+	// backoff pause; for a still-running job it is first claim → now.
+	RunSeconds float64 `json:"run_seconds,omitempty"`
+	Error      string  `json:"error,omitempty"`
+	Result     any     `json:"result,omitempty"`
 }
 
 func optTime(t time.Time) *time.Time {
@@ -102,9 +133,11 @@ func optTime(t time.Time) *time.Time {
 
 // snapshot copies the job; the queue lock must be held.
 func (j *Job) snapshot() Status {
-	return Status{
+	st := Status{
 		ID:          j.ID,
 		Kind:        j.Kind,
+		TraceID:     j.TraceID,
+		Tenant:      j.Tenant,
 		State:       j.State,
 		Attempts:    j.Attempts,
 		MaxAttempts: j.MaxAttempts,
@@ -116,6 +149,15 @@ func (j *Job) snapshot() Status {
 		Error:       j.Error,
 		Result:      j.Result,
 	}
+	if !j.FirstClaimedAt.IsZero() {
+		st.QueueWaitSeconds = j.FirstClaimedAt.Sub(j.SubmittedAt).Seconds()
+		end := j.FinishedAt
+		if end.IsZero() {
+			end = time.Now()
+		}
+		st.RunSeconds = end.Sub(j.FirstClaimedAt).Seconds()
+	}
+	return st
 }
 
 // Options configures a Queue.
@@ -139,21 +181,62 @@ func DefaultOptions() Options {
 	return Options{MaxAttempts: 3, BackoffBase: 500 * time.Millisecond, BackoffMax: 30 * time.Second}
 }
 
+// KindStats aggregates per-workload-kind throughput for /api/v1/stats and
+// the revealctl top dashboard.
+type KindStats struct {
+	Kind      string `json:"kind"`
+	Submitted int64  `json:"submitted"`
+	Done      int64  `json:"done"`
+	Failed    int64  `json:"failed"`
+	Retried   int64  `json:"retried,omitempty"`
+	Queued    int    `json:"queued,omitempty"`
+	Running   int    `json:"running,omitempty"`
+}
+
+// queueMetrics is the queue's pre-bound metric family. Every series is
+// resolved against the global registry once (at NewQueue / first label
+// use) instead of re-rendering a fmt.Sprintf key per event, so the
+// per-transition cost is a map read plus an atomic add. All fields are
+// nil-safe when observability is disabled.
+type queueMetrics struct {
+	depth      *obs.Gauge
+	running    *obs.Gauge
+	byState    *obs.CounterVec   // reveal_jobs_total{state=...}
+	queueWait  *obs.HistogramVec // reveal_jobs_queue_wait_seconds{kind=...}
+	attemptDur *obs.HistogramVec // reveal_jobs_attempt_duration_seconds{kind=...}
+	tenantJobs *obs.CounterVec   // reveal_tenant_jobs_total{tenant=...}
+}
+
+func newQueueMetrics() queueMetrics {
+	reg := obs.Global().Registry()
+	return queueMetrics{
+		depth:      reg.Gauge(MetricQueueDepth),
+		running:    reg.Gauge(MetricJobsRunning),
+		byState:    reg.CounterVec(MetricJobsTotal, "state", 8),
+		queueWait:  reg.HistogramVec(MetricQueueWait, "kind", maxKindLabels),
+		attemptDur: reg.HistogramVec(MetricAttemptDuration, "kind", maxKindLabels),
+		tenantJobs: reg.CounterVec(MetricTenantJobs, "tenant", maxTenantLabels),
+	}
+}
+
 // Queue is the in-memory job queue. Safe for concurrent use.
 type Queue struct {
 	mu      sync.Mutex
 	opts    Options
 	jobs    map[string]*Job
 	byAge   []*Job // submission order (seq ascending), terminal jobs included
+	byKind  map[string]*KindStats
 	seq     uint64
 	accept  bool
 	wake    chan struct{}
 	jitter  sampler.PRNG
 	queued  int
 	running int
+	metrics queueMetrics
 }
 
-// NewQueue builds an empty queue.
+// NewQueue builds an empty queue. The queue's metrics bind to the global
+// obs recorder installed at call time, so install the recorder first.
 func NewQueue(opts Options) *Queue {
 	if opts.MaxAttempts < 1 {
 		opts.MaxAttempts = 1
@@ -165,11 +248,13 @@ func NewQueue(opts Options) *Queue {
 		opts.BackoffMax = 30 * time.Second
 	}
 	return &Queue{
-		opts:   opts,
-		jobs:   map[string]*Job{},
-		accept: true,
-		wake:   make(chan struct{}),
-		jitter: sampler.NewXoshiro256(opts.JitterSeed ^ 0x9042),
+		opts:    opts,
+		jobs:    map[string]*Job{},
+		byKind:  map[string]*KindStats{},
+		accept:  true,
+		wake:    make(chan struct{}),
+		jitter:  sampler.NewXoshiro256(opts.JitterSeed ^ 0x9042),
+		metrics: newQueueMetrics(),
 	}
 }
 
@@ -180,13 +265,47 @@ func (q *Queue) broadcast() {
 }
 
 func (q *Queue) gauges() {
-	reg := obs.Global().Registry()
-	reg.Gauge(MetricQueueDepth).Set(float64(q.queued))
-	reg.Gauge(MetricJobsRunning).Set(float64(q.running))
+	q.metrics.depth.Set(float64(q.queued))
+	q.metrics.running.Set(float64(q.running))
 }
 
-func jobsTotal(state string) {
-	obs.Global().Registry().Counter(fmt.Sprintf("%s{state=%q}", MetricJobsTotal, state)).Inc()
+// kindLocked returns the per-kind aggregate, creating it on first use;
+// q.mu must be held.
+func (q *Queue) kindLocked(kind string) *KindStats {
+	ks := q.byKind[kind]
+	if ks == nil {
+		ks = &KindStats{Kind: kind}
+		q.byKind[kind] = ks
+	}
+	return ks
+}
+
+// StatsByKind returns the per-kind throughput aggregates sorted by kind.
+func (q *Queue) StatsByKind() []KindStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.reapLocked(time.Now())
+	out := make([]KindStats, 0, len(q.byKind))
+	for _, ks := range q.byKind {
+		out = append(out, *ks)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Kind < out[b].Kind })
+	return out
+}
+
+// event stamps the job's identity onto a service-journal event and emits
+// it on the global recorder (no-op when events are disabled).
+func (j *Job) event(typ string, detail string) {
+	obs.Emit(obs.ServiceEvent{
+		Type:    typ,
+		JobID:   j.ID,
+		TraceID: j.TraceID,
+		Kind:    j.Kind,
+		Tenant:  j.Tenant,
+		State:   string(j.State),
+		Attempt: j.Attempts,
+		Detail:  detail,
+	})
 }
 
 // Submit enqueues a job and returns its snapshot.
@@ -208,6 +327,8 @@ func (q *Queue) Submit(spec Spec) (Status, error) {
 	j := &Job{
 		ID:          fmt.Sprintf("job-%06d", q.seq),
 		Kind:        spec.Kind,
+		TraceID:     spec.TraceID,
+		Tenant:      spec.Tenant,
 		Payload:     spec.Payload,
 		State:       StateQueued,
 		MaxAttempts: maxAttempts,
@@ -220,9 +341,17 @@ func (q *Queue) Submit(spec Spec) (Status, error) {
 	q.jobs[j.ID] = j
 	q.byAge = append(q.byAge, j)
 	q.queued++
-	jobsTotal("submitted")
+	ks := q.kindLocked(j.Kind)
+	ks.Submitted++
+	ks.Queued++
+	q.metrics.byState.With("submitted").Inc()
+	if j.Tenant != "" {
+		q.metrics.tenantJobs.With(j.Tenant).Inc()
+	}
 	q.gauges()
+	j.event(obs.EventJobSubmitted, "")
 	obs.Log().Info("job submitted", "id", j.ID, "kind", j.Kind,
+		"trace_id", j.TraceID, "tenant", j.Tenant,
 		"max_attempts", j.MaxAttempts, "queue_depth", q.queued)
 	q.broadcast()
 	return j.snapshot(), nil
@@ -337,10 +466,19 @@ func (q *Queue) claim(now time.Time) (j *Job, wait time.Duration, wake <-chan st
 		best.State = StateRunning
 		best.Attempts++
 		best.StartedAt = now
+		if best.FirstClaimedAt.IsZero() {
+			best.FirstClaimedAt = now
+			q.metrics.queueWait.With(best.Kind).Observe(now.Sub(best.SubmittedAt).Seconds())
+		}
 		q.queued--
 		q.running++
+		ks := q.kindLocked(best.Kind)
+		ks.Queued--
+		ks.Running++
 		q.gauges()
-		obs.Log().Debug("job claimed", "id", best.ID, "attempt", best.Attempts)
+		best.event(obs.EventJobClaimed, "")
+		obs.Log().Debug("job claimed", "id", best.ID, "attempt", best.Attempts,
+			"trace_id", best.TraceID)
 		return best, 0, nil
 	}
 	if !next.IsZero() {
@@ -354,10 +492,13 @@ func (q *Queue) claim(now time.Time) (j *Job, wait time.Duration, wake <-chan st
 
 // finalizeLocked moves a job to a terminal state; q.mu must be held.
 func (q *Queue) finalizeLocked(j *Job, state State, errMsg string) {
+	ks := q.kindLocked(j.Kind)
 	if j.State == StateQueued {
 		q.queued--
+		ks.Queued--
 	} else if j.State == StateRunning {
 		q.running--
+		ks.Running--
 	}
 	j.State = state
 	j.Error = errMsg
@@ -365,13 +506,21 @@ func (q *Queue) finalizeLocked(j *Job, state State, errMsg string) {
 	j.cancel = nil
 	j.NotBefore = time.Time{}
 	if state == StateDone {
-		jobsTotal("done")
+		ks.Done++
+		q.metrics.byState.With("done").Inc()
 	} else {
-		jobsTotal("failed")
+		ks.Failed++
+		q.metrics.byState.With("failed").Inc()
 	}
 	q.gauges()
+	j.event(obs.EventJobFinished, errMsg)
+	if j.TraceID != "" {
+		obs.FlowEvent(j.TraceID, obs.FlowEnd, "finished", map[string]any{
+			"job_id": j.ID, "state": string(state), "attempts": j.Attempts,
+		})
+	}
 	obs.Log().Info("job finished", "id", j.ID, "state", string(state),
-		"attempts", j.Attempts, "error", errMsg)
+		"trace_id", j.TraceID, "attempts", j.Attempts, "error", errMsg)
 	q.broadcast()
 }
 
@@ -397,6 +546,9 @@ func (q *Queue) complete(j *Job, result any, err error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	j.cancel = nil
+	if !j.StartedAt.IsZero() {
+		q.metrics.attemptDur.With(j.Kind).Observe(time.Since(j.StartedAt).Seconds())
+	}
 	switch {
 	case err == nil:
 		j.Result = result
@@ -412,11 +564,16 @@ func (q *Queue) complete(j *Job, result any, err error) {
 		j.Error = err.Error()
 		q.running--
 		q.queued++
-		jobsTotal("retried")
+		ks := q.kindLocked(j.Kind)
+		ks.Running--
+		ks.Queued++
+		ks.Retried++
+		q.metrics.byState.With("retried").Inc()
 		q.gauges()
+		j.event(obs.EventJobRetried, err.Error())
 		obs.Log().Warn("job attempt failed, retrying", "id", j.ID,
-			"attempt", j.Attempts, "max_attempts", j.MaxAttempts,
-			"backoff", backoff, "error", err)
+			"trace_id", j.TraceID, "attempt", j.Attempts,
+			"max_attempts", j.MaxAttempts, "backoff", backoff, "error", err)
 		q.broadcast()
 	default:
 		q.finalizeLocked(j, StateFailed, err.Error())

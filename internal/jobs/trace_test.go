@@ -1,0 +1,181 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"reveal/internal/obs"
+)
+
+// tracedFixture installs a recorder with tracing and a journal, builds a
+// queue+pool whose metrics bind to it, and restores the previous global
+// recorder on cleanup (the queue's metrics bind at NewQueue, mirroring the
+// daemon's install-recorder-first startup order).
+func tracedFixture(t *testing.T, runner Runner) (*obs.Recorder, *Queue, *Pool) {
+	t.Helper()
+	rec := obs.New(obs.Options{TraceCapacity: 1024, TraceRing: true, EventCapacity: 64})
+	prev := obs.Global()
+	obs.SetGlobal(rec)
+	t.Cleanup(func() { obs.SetGlobal(prev) })
+	q := NewQueue(Options{MaxAttempts: 2, BackoffBase: time.Millisecond, BackoffMax: 5 * time.Millisecond})
+	p := NewPool(q, 1, runner)
+	p.Start()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = p.Shutdown(ctx)
+	})
+	return rec, q, p
+}
+
+func waitTerminal(t *testing.T, q *Queue, id string) Status {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, ok := q.Get(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if st.State == StateDone || st.State == StateFailed {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, st.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestTraceAndTenantPropagation submits a traced, tenant-tagged job and
+// follows the identity across the queue: the worker's context, the status
+// snapshot (with queue-wait/run durations), the per-kind and per-tenant
+// metrics, the service journal, and the flow events must all carry it.
+func TestTraceAndTenantPropagation(t *testing.T) {
+	const traceID = "jobs-trace-0001"
+	seenTrace := make(chan string, 1)
+	rec, q, _ := tracedFixture(t, func(ctx context.Context, job *Job) (any, error) {
+		seenTrace <- obs.TraceIDFrom(ctx)
+		time.Sleep(5 * time.Millisecond)
+		return "ok", nil
+	})
+
+	st, err := q.Submit(Spec{Kind: "sleep", TraceID: traceID, Tenant: "acme"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TraceID != traceID || st.Tenant != "acme" {
+		t.Fatalf("submitted snapshot lost identity: %+v", st)
+	}
+	done := waitTerminal(t, q, st.ID)
+	if done.State != StateDone {
+		t.Fatalf("job ended %s: %s", done.State, done.Error)
+	}
+	if done.TraceID != traceID || done.Tenant != "acme" {
+		t.Fatalf("terminal snapshot lost identity: %+v", done)
+	}
+	if done.QueueWaitSeconds <= 0 || done.RunSeconds <= 0 {
+		t.Fatalf("durations not populated: wait=%g run=%g", done.QueueWaitSeconds, done.RunSeconds)
+	}
+	if got := <-seenTrace; got != traceID {
+		t.Fatalf("worker context carried trace %q, want %q", got, traceID)
+	}
+
+	// Per-kind aggregates and histograms.
+	kinds := q.StatsByKind()
+	if len(kinds) != 1 || kinds[0].Kind != "sleep" || kinds[0].Submitted != 1 || kinds[0].Done != 1 {
+		t.Fatalf("StatsByKind = %+v", kinds)
+	}
+	snap := rec.Registry().Snapshot()
+	if got := snap.Histograms[obs.LabelKey(MetricQueueWait, "kind", "sleep")].Count; got != 1 {
+		t.Errorf("queue-wait observations = %d, want 1", got)
+	}
+	if got := snap.Histograms[obs.LabelKey(MetricAttemptDuration, "kind", "sleep")].Count; got != 1 {
+		t.Errorf("attempt-duration observations = %d, want 1", got)
+	}
+	if got := snap.Counters[obs.LabelKey(MetricTenantJobs, "tenant", "acme")]; got != 1 {
+		t.Errorf("tenant counter = %d, want 1", got)
+	}
+
+	// Journal: the submitted→claimed→finished lifecycle, all stamped.
+	events, _ := rec.Events().Since(0, 100)
+	want := map[string]bool{obs.EventJobSubmitted: false, obs.EventJobClaimed: false, obs.EventJobFinished: false}
+	for _, ev := range events {
+		if ev.JobID != st.ID {
+			continue
+		}
+		if ev.TraceID != traceID || ev.Tenant != "acme" || ev.Kind != "sleep" {
+			t.Fatalf("journal event lost identity: %+v", ev)
+		}
+		if _, ok := want[ev.Type]; ok {
+			want[ev.Type] = true
+		}
+	}
+	for typ, seen := range want {
+		if !seen {
+			t.Errorf("journal missing %s for %s", typ, st.ID)
+		}
+	}
+
+	// Flow events: the attempt step and the finish terminator bound to the ID.
+	phases := map[string]bool{}
+	for _, ev := range rec.TraceEventsFor(traceID) {
+		phases[ev.Phase] = true
+	}
+	if !phases[obs.FlowStep] || !phases[obs.FlowEnd] {
+		t.Fatalf("flow events incomplete for %s: phases %v", traceID, phases)
+	}
+}
+
+// TestRetryKeepsTraceAndCounts fails the first attempt: the retry must be
+// journaled and counted per kind, the second attempt must still see the
+// trace, and both attempts must land in the duration histogram.
+func TestRetryKeepsTraceAndCounts(t *testing.T) {
+	const traceID = "jobs-trace-retry"
+	var calls int
+	traces := make(chan string, 2)
+	rec, q, _ := tracedFixture(t, func(ctx context.Context, job *Job) (any, error) {
+		traces <- obs.TraceIDFrom(ctx)
+		calls++
+		if calls == 1 {
+			return nil, errors.New("induced")
+		}
+		return "ok", nil
+	})
+
+	st, err := q.Submit(Spec{Kind: "flaky", TraceID: traceID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitTerminal(t, q, st.ID)
+	if done.State != StateDone || done.Attempts != 2 {
+		t.Fatalf("job = %s after %d attempts (%s), want done after 2", done.State, done.Attempts, done.Error)
+	}
+	for i := 0; i < 2; i++ {
+		if got := <-traces; got != traceID {
+			t.Fatalf("attempt %d saw trace %q", i+1, got)
+		}
+	}
+	kinds := q.StatsByKind()
+	if len(kinds) != 1 || kinds[0].Retried != 1 || kinds[0].Done != 1 {
+		t.Fatalf("StatsByKind after retry = %+v", kinds)
+	}
+	snap := rec.Registry().Snapshot()
+	if got := snap.Counters[obs.LabelKey(MetricJobsTotal, "state", "retried")]; got != 1 {
+		t.Errorf("retried counter = %d, want 1", got)
+	}
+	if got := snap.Histograms[obs.LabelKey(MetricAttemptDuration, "kind", "flaky")].Count; got != 2 {
+		t.Errorf("attempt-duration observations = %d, want 2 (both attempts)", got)
+	}
+	var sawRetry bool
+	events, _ := rec.Events().Since(0, 100)
+	for _, ev := range events {
+		if ev.Type == obs.EventJobRetried && ev.JobID == st.ID && ev.TraceID == traceID {
+			sawRetry = true
+		}
+	}
+	if !sawRetry {
+		t.Error("journal missing the job_retried event")
+	}
+}

@@ -56,6 +56,18 @@ func ParseLevel(s string) slog.Level {
 	}
 }
 
+// LogCtx returns the global structured logger with the trace identity from
+// ctx attached as a "trace_id" attribute, so service-layer log lines are
+// correlatable with the request that caused them. Without a trace (or with
+// observability disabled) it is exactly Log().
+func LogCtx(ctx context.Context) *slog.Logger {
+	lg := Log()
+	if id := TraceIDFrom(ctx); id != "" {
+		return lg.With("trace_id", id)
+	}
+	return lg
+}
+
 // fanoutHandler duplicates records to several handlers (console + run-dir
 // log file).
 type fanoutHandler struct{ handlers []slog.Handler }

@@ -16,9 +16,13 @@ import (
 // Manifest is the reproducibility record written to <run-dir>/manifest.json:
 // everything needed to identify, compare, and re-run a campaign.
 type Manifest struct {
-	Tool        string    `json:"tool"`
-	Command     string    `json:"command,omitempty"`
-	Args        []string  `json:"args,omitempty"`
+	Tool    string   `json:"tool"`
+	Command string   `json:"command,omitempty"`
+	Args    []string `json:"args,omitempty"`
+	// TraceID is the request trace identity the run belongs to (service
+	// jobs only): the same ID appears in the HTTP response header, the job
+	// journal, run.log lines, and the trace.json flow events.
+	TraceID     string    `json:"trace_id,omitempty"`
 	Seed        uint64    `json:"seed"`
 	GitDescribe string    `json:"git_describe,omitempty"`
 	GoVersion   string    `json:"go_version,omitempty"`

@@ -478,6 +478,135 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 	return snap
 }
 
+// LabelKey renders a metric key with one label pair in the registry's
+// canonical form: LabelKey("m", "state", "done") → `m{state="done"}`.
+func LabelKey(name, label, value string) string {
+	return name + "{" + label + "=" + quoteLabel(value) + "}"
+}
+
+// quoteLabel renders a label value per the Prometheus text exposition
+// escaping rules (backslash, double quote, newline).
+func quoteLabel(v string) string {
+	out := make([]byte, 0, len(v)+2)
+	out = append(out, '"')
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '"', '\\':
+			out = append(out, '\\', c)
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, c)
+		}
+	}
+	out = append(out, '"')
+	return string(out)
+}
+
+// OverflowLabel is the label value labeled-metric vectors fall back to once
+// their cardinality cap is reached, so an unbounded identifier space (e.g.
+// tenant names) cannot grow the registry without bound.
+const OverflowLabel = "_other"
+
+// vecCore is the shared label→metric cache behind CounterVec/HistogramVec.
+// Lookups are allocated once per label value and served from a read-locked
+// map afterwards, keeping labeled metrics off the per-event hot path.
+type vecCore[M any] struct {
+	mu    sync.RWMutex
+	cache map[string]M
+	// maxCard caps distinct label values (0 = unbounded); past the cap every
+	// new value maps to OverflowLabel.
+	maxCard int
+	lookup  func(key string) M
+	name    string
+	label   string
+}
+
+func (v *vecCore[M]) with(value string) M {
+	v.mu.RLock()
+	m, ok := v.cache[value]
+	v.mu.RUnlock()
+	if ok {
+		return m
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if m, ok = v.cache[value]; ok {
+		return m
+	}
+	if v.maxCard > 0 && len(v.cache) >= v.maxCard && value != OverflowLabel {
+		// Past the cap: collapse onto the overflow series. The individual
+		// value is deliberately not cached — caching it would let an
+		// unbounded identifier space grow this map without bound, which is
+		// exactly what the cap exists to prevent.
+		if m, ok = v.cache[OverflowLabel]; !ok {
+			m = v.lookup(LabelKey(v.name, v.label, OverflowLabel))
+			v.cache[OverflowLabel] = m
+		}
+		return m
+	}
+	m = v.lookup(LabelKey(v.name, v.label, value))
+	v.cache[value] = m
+	return m
+}
+
+// CounterVec is a family of counters sharing one metric name and one label
+// dimension, e.g. reveal_jobs_total{state=...}. Each label value resolves
+// to a pre-registered *Counter exactly once; afterwards With is a map read.
+// A nil *CounterVec (nil registry) returns nil counters, whose methods are
+// no-ops.
+type CounterVec struct{ core vecCore[*Counter] }
+
+// CounterVec builds (or rebinds) a counter family on the registry.
+// maxCardinality caps distinct label values (0 = unbounded).
+func (r *Registry) CounterVec(name, label string, maxCardinality int) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{core: vecCore[*Counter]{
+		cache:   map[string]*Counter{},
+		maxCard: maxCardinality,
+		lookup:  r.Counter,
+		name:    name,
+		label:   label,
+	}}
+}
+
+// With returns the counter for the given label value.
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.core.with(value)
+}
+
+// HistogramVec is a family of histograms sharing one metric name and one
+// label dimension, e.g. reveal_jobs_queue_wait_seconds{kind=...}.
+type HistogramVec struct{ core vecCore[*Histogram] }
+
+// HistogramVec builds a histogram family on the registry. maxCardinality
+// caps distinct label values (0 = unbounded).
+func (r *Registry) HistogramVec(name, label string, maxCardinality int) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return &HistogramVec{core: vecCore[*Histogram]{
+		cache:   map[string]*Histogram{},
+		maxCard: maxCardinality,
+		lookup:  r.Histogram,
+		name:    name,
+		label:   label,
+	}}
+}
+
+// With returns the histogram for the given label value.
+func (v *HistogramVec) With(value string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.core.with(value)
+}
+
 func sortedKeys[V any](m map[string]V) []string {
 	out := make([]string, 0, len(m))
 	for k := range m {

@@ -37,6 +37,10 @@ type Recorder struct {
 	spanEvents  *boundedBuffer[TraceEvent]
 	coeffEvents *boundedBuffer[CoeffEvent]
 
+	// serviceEvents is the append-only service journal behind the /events
+	// endpoint and events.jsonl; nil when EventCapacity was 0.
+	serviceEvents *EventLog
+
 	mu     sync.Mutex
 	active map[string]int
 }
@@ -54,6 +58,14 @@ type Options struct {
 	// coeffs.jsonl; 0 disables the journal (aggregate coefficient metrics
 	// are still recorded).
 	CoeffCapacity int
+	// TraceRing switches the span trace-event buffer from drop-newest (the
+	// archived-run default: trace.json keeps the run's beginning) to a ring
+	// that overwrites the oldest events — the right shape for a long-lived
+	// daemon exporting per-job traces.
+	TraceRing bool
+	// EventCapacity bounds the service event journal ring served on /events
+	// and written to events.jsonl; 0 disables it.
+	EventCapacity int
 }
 
 // New builds a Recorder.
@@ -62,7 +74,7 @@ func New(opts Options) *Recorder {
 	if reg == nil {
 		reg = NewRegistry()
 	}
-	return &Recorder{
+	rec := &Recorder{
 		registry:    reg,
 		logger:      opts.Logger,
 		start:       time.Now(),
@@ -70,6 +82,11 @@ func New(opts Options) *Recorder {
 		coeffEvents: newBoundedBuffer[CoeffEvent](opts.CoeffCapacity),
 		active:      map[string]int{},
 	}
+	rec.spanEvents.setRing(opts.TraceRing)
+	if opts.EventCapacity > 0 {
+		rec.serviceEvents = NewEventLog(opts.EventCapacity, reg)
+	}
+	return rec
 }
 
 // Registry returns the recorder's metrics registry (nil for a nil recorder).

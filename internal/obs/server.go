@@ -6,6 +6,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -14,6 +16,8 @@ import (
 //	/metrics      Prometheus text exposition of the registry
 //	/progress     JSON per-stage progress (runs, items, quantiles, active)
 //	/healthz      liveness probe: {"status":"ok","uptime_seconds":...}
+//	/readyz       readiness probe: 200 while serving, 503 while draining
+//	/events       service event journal (long-poll, ?since=SEQ&wait=DUR)
 //	/debug/pprof  the standard Go profiling endpoints
 //
 // ServeMetricsWith additionally mounts an application handler under /api/
@@ -23,6 +27,22 @@ type MetricsServer struct {
 	srv  *http.Server
 	ln   net.Listener
 	done chan struct{}
+}
+
+// ServeConfig extends ServeMetrics with the service-grade options.
+type ServeConfig struct {
+	// API, when non-nil, is mounted under /api/ (unstripped paths).
+	API http.Handler
+	// APIRoute maps an API request to its bounded route template for the
+	// per-route HTTP metrics; nil labels API requests with the raw path.
+	APIRoute func(*http.Request) string
+	// Ready, when non-nil, backs /readyz: a nil return is ready (200), an
+	// error is not ready (503 with the error text). The request context is
+	// passed through so probes can honor client disconnects.
+	Ready func(ctx context.Context) error
+	// Instrument wraps every endpoint (observability ones included) in the
+	// trace + labeled-metrics HTTP middleware.
+	Instrument bool
 }
 
 // progressReport is the /progress payload.
@@ -44,9 +64,18 @@ func ServeMetrics(rec *Recorder, addr string) (*MetricsServer, error) {
 // ServeMetricsWith is ServeMetrics with an optional application handler
 // mounted under /api/. The handler sees unstripped paths (it should route
 // /api/... itself); the observability endpoints — /metrics, /progress,
-// /healthz, /debug/pprof — stay owned by the metrics mux, so mounting an
-// API cannot clobber the liveness probe.
+// /healthz, /readyz, /events, /debug/pprof — stay owned by the metrics
+// mux, so mounting an API cannot clobber the liveness probe.
 func ServeMetricsWith(rec *Recorder, addr string, api http.Handler) (*MetricsServer, error) {
+	return ServeMetricsCfg(rec, addr, ServeConfig{API: api})
+}
+
+// maxEventWait bounds the /events?wait= long-poll parameter.
+const maxEventWait = 60 * time.Second
+
+// ServeMetricsCfg is the full-configuration form of ServeMetrics: API
+// mounting, readiness probing, and HTTP instrumentation.
+func ServeMetricsCfg(rec *Recorder, addr string, cfg ServeConfig) (*MetricsServer, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -85,13 +114,56 @@ func ServeMetricsWith(rec *Recorder, addr string, api http.Handler) (*MetricsSer
 			"uptime_seconds": rec.Uptime().Seconds(),
 		})
 	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Readiness is distinct from liveness: a draining daemon is alive
+		// (running jobs are finishing) but must stop receiving traffic, so
+		// load balancers watch /readyz while orchestrators watch /healthz.
+		w.Header().Set("Content-Type", "application/json")
+		if cfg.Ready != nil {
+			if err := cfg.Ready(r.Context()); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				_ = json.NewEncoder(w).Encode(map[string]any{
+					"status": "not_ready", "reason": err.Error(),
+				})
+				return
+			}
+		}
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status":         "ready",
+			"uptime_seconds": rec.Uptime().Seconds(),
+		})
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		serveEvents(rec.Events(), w, r)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	if api != nil {
+	if cfg.API != nil {
+		api := cfg.API
+		if cfg.Instrument {
+			api = InstrumentHandler(rec, cfg.APIRoute, api)
+		}
 		mux.Handle("/api/", api)
+	}
+
+	var handler http.Handler = mux
+	if cfg.Instrument {
+		// The observability endpoints themselves are instrumented with their
+		// literal paths (a fixed mux, so the label set stays bounded). The
+		// API subtree was already wrapped above with its route templates;
+		// wrapping the whole mux instead would label every API hit with a
+		// raw path. Requests outside /api/ flow through this outer layer.
+		obsRoutes := InstrumentHandler(rec, nil, mux)
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if strings.HasPrefix(r.URL.Path, "/api/") || strings.HasPrefix(r.URL.Path, "/debug/pprof") {
+				mux.ServeHTTP(w, r)
+				return
+			}
+			obsRoutes.ServeHTTP(w, r)
+		})
 	}
 
 	ln, err := net.Listen("tcp", addr)
@@ -100,7 +172,7 @@ func ServeMetricsWith(rec *Recorder, addr string, api http.Handler) (*MetricsSer
 	}
 	ms := &MetricsServer{
 		srv: &http.Server{
-			Handler:           mux,
+			Handler:           handler,
 			ReadHeaderTimeout: 5 * time.Second,
 			// The pprof CPU profile streams for its whole sampling window
 			// (default 30s, callers pass up to ?seconds=60), so the write
@@ -150,4 +222,73 @@ func (m *MetricsServer) Close() {
 	}
 	_ = m.srv.Close()
 	<-m.done
+}
+
+// EventsResponse is the /events payload: a batch of journal events plus
+// the cursor to resume from (?since=NextSeq).
+type EventsResponse struct {
+	Events  []ServiceEvent `json:"events"`
+	NextSeq int64          `json:"next_seq"`
+	// Dropped counts events lost to the asynchronous events.jsonl sink (not
+	// to this endpoint — the ring never blocks and never loses silently;
+	// consumers detect overwrites from gaps in Seq).
+	Dropped int64 `json:"dropped,omitempty"`
+}
+
+// serveEvents answers GET /events: ?since=SEQ resumes after a cursor,
+// ?wait=DUR long-polls until an event arrives or the duration (bounded)
+// expires, ?max=N caps the batch. The wait honors the request context, so
+// a disconnected long-poller releases its goroutine immediately — and a
+// slow or stuck consumer only ever parks here, never in the job queue's
+// Append path.
+func serveEvents(log *EventLog, w http.ResponseWriter, r *http.Request) {
+	if log == nil {
+		http.Error(w, "service event journal disabled", http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	var since int64
+	if s := q.Get("since"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil || v < 0 {
+			http.Error(w, "bad since cursor", http.StatusBadRequest)
+			return
+		}
+		since = v
+	}
+	max := 256
+	if s := q.Get("max"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			http.Error(w, "bad max", http.StatusBadRequest)
+			return
+		}
+		if v < max {
+			max = v
+		}
+	}
+	var events []ServiceEvent
+	var next int64
+	if ws := q.Get("wait"); ws != "" {
+		d, err := time.ParseDuration(ws)
+		if err != nil || d < 0 {
+			http.Error(w, "bad wait duration", http.StatusBadRequest)
+			return
+		}
+		if d > maxEventWait {
+			d = maxEventWait
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		events, next = log.WaitSince(ctx, since, max)
+		cancel()
+		if next < since {
+			next = since
+		}
+	} else {
+		events, next = log.Since(since, max)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(EventsResponse{Events: events, NextSeq: next, Dropped: log.SinkDropped()})
 }

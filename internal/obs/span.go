@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -22,15 +23,31 @@ func stageKey(metric, stage string) string {
 // Span is one timed execution of a pipeline stage. A nil *Span is valid
 // and records nothing — the disabled-observability fast path.
 type Span struct {
-	rec   *Recorder
-	name  string
-	start time.Time
-	items int64
+	rec     *Recorder
+	name    string
+	traceID string // request identity stamped on the trace event ("" = none)
+	start   time.Time
+	items   int64
 }
 
 // StartSpan opens a span on the global recorder. When observability is
 // disabled it returns nil, and every Span method is a nil-safe no-op.
 func StartSpan(name string) *Span { return Global().StartSpan(name) }
+
+// StartSpanCtx opens a span on the global recorder carrying the trace
+// identity from ctx, so the span's trace event (and its children's, via
+// Child) can be correlated with the request that caused it. The disabled
+// path stays one atomic load: the context is only consulted once a
+// recorder is installed.
+func StartSpanCtx(ctx context.Context, name string) *Span {
+	rec := Global()
+	if rec == nil {
+		return nil
+	}
+	sp := rec.StartSpan(name)
+	sp.traceID = TraceIDFrom(ctx)
+	return sp
+}
 
 // StartSpan opens a span for one stage execution.
 func (r *Recorder) StartSpan(name string) *Span {
@@ -53,13 +70,16 @@ func (s *Span) AddItems(n int) {
 }
 
 // Child opens a sub-span named "<parent>/<name>", giving hierarchical
-// stage metrics and nested trace events. A nil receiver (observability
-// disabled) returns a nil span.
+// stage metrics and nested trace events. The child inherits the parent's
+// trace identity. A nil receiver (observability disabled) returns a nil
+// span.
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	return s.rec.StartSpan(s.name + "/" + name)
+	child := s.rec.StartSpan(s.name + "/" + name)
+	child.traceID = s.traceID
+	return child
 }
 
 // End closes the span, recording wall time, run and item counters, and a
@@ -81,6 +101,12 @@ func (s *Span) End() time.Duration {
 		var args map[string]any
 		if s.items > 0 {
 			args = map[string]any{"items": s.items}
+		}
+		if s.traceID != "" {
+			if args == nil {
+				args = map[string]any{}
+			}
+			args["trace_id"] = s.traceID
 		}
 		r.spanEvents.add(TraceEvent{
 			Name: s.name, Cat: "stage", Phase: "X",

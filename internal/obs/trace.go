@@ -36,6 +36,7 @@ type TraceEvent struct {
 	Cat   string         `json:"cat,omitempty"`
 	Phase string         `json:"ph"`
 	Scope string         `json:"s,omitempty"`
+	ID    string         `json:"id,omitempty"`  // flow/async event binding id
 	TS    float64        `json:"ts"`            // microseconds since recorder start
 	Dur   float64        `json:"dur,omitempty"` // microseconds, for "X" events
 	PID   int            `json:"pid"`
@@ -48,6 +49,10 @@ type TraceEvent struct {
 // candidate values, EntropyBits the Shannon entropy of the posterior, and
 // Rank the 1-based position of the true value in the posterior ordering.
 type CoeffEvent struct {
+	// TraceID correlates the event with the request that produced it.
+	// Empty (and absent from the JSONL encoding) outside the service path,
+	// so standalone runs — including the selftest digest — are unchanged.
+	TraceID string `json:"trace_id,omitempty"`
 	// Poly identifies the attacked polynomial ("e1", "e2").
 	Poly string `json:"poly,omitempty"`
 	// Index is the coefficient position within the polynomial.
@@ -72,11 +77,14 @@ type CoeffEvent struct {
 // boundedBuffer is a mutex-guarded fixed-capacity event store. Once full,
 // new events are counted as dropped instead of growing the buffer, keeping
 // long campaigns at bounded memory while the aggregate metrics keep
-// counting.
+// counting. In ring mode (used by the long-lived daemon) the oldest events
+// are overwritten instead, so recent activity is always retained.
 type boundedBuffer[T any] struct {
 	mu      sync.Mutex
 	events  []T
 	cap     int
+	ring    bool
+	head    int // ring mode: index of the oldest event
 	dropped int64
 }
 
@@ -87,27 +95,46 @@ func newBoundedBuffer[T any](capacity int) *boundedBuffer[T] {
 	return &boundedBuffer[T]{cap: capacity}
 }
 
+// setRing selects overwrite-oldest semantics. Must be called before the
+// first add (New does, right after construction).
+func (b *boundedBuffer[T]) setRing(ring bool) {
+	if b != nil {
+		b.ring = ring
+	}
+}
+
 func (b *boundedBuffer[T]) add(ev T) {
 	if b == nil {
 		return
 	}
 	b.mu.Lock()
-	if len(b.events) < b.cap {
+	switch {
+	case len(b.events) < b.cap:
 		b.events = append(b.events, ev)
-	} else {
+	case b.ring:
+		b.events[b.head] = ev
+		b.head = (b.head + 1) % b.cap
+		b.dropped++
+	default:
 		b.dropped++
 	}
 	b.mu.Unlock()
 }
 
-// snapshot copies the buffered events and the drop count.
+// snapshot copies the buffered events (oldest first) and the drop count.
 func (b *boundedBuffer[T]) snapshot() ([]T, int64) {
 	if b == nil {
 		return nil, 0
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return append([]T(nil), b.events...), b.dropped
+	if b.head == 0 {
+		return append([]T(nil), b.events...), b.dropped
+	}
+	out := make([]T, 0, len(b.events))
+	out = append(out, b.events[b.head:]...)
+	out = append(out, b.events[:b.head]...)
+	return out, b.dropped
 }
 
 // TracingEnabled reports whether the recorder buffers span trace events.
@@ -145,6 +172,87 @@ func (r *Recorder) Instant(name string, args map[string]any) {
 		Name: name, Cat: "marker", Phase: "i", Scope: "t",
 		TS: r.Uptime().Seconds() * 1e6, PID: 1, TID: 1, Args: args,
 	})
+}
+
+// Flow phases of the Chrome trace_event format: a flow is a sequence of
+// s (start) → t (step)* → f (end) events sharing one cat/name/id, rendered
+// by Perfetto as arrows across threads and processes. The campaign path
+// emits one flow per trace ID tying HTTP accept → queue wait → attempts →
+// pipeline stages together.
+const (
+	FlowStart = "s"
+	FlowStep  = "t"
+	FlowEnd   = "f"
+)
+
+// flowCategory/flowName are the fixed binding of campaign flow events.
+const (
+	flowCategory = "flow"
+	flowName     = "campaign"
+)
+
+// FlowEvent records one flow-graph node for the given trace ID. phase is
+// FlowStart/FlowStep/FlowEnd, step names the node ("http_accept",
+// "queue_wait", "attempt", …), and args carries attributes (job id, state).
+// No-op when tracing is disabled or the trace ID is empty.
+func (r *Recorder) FlowEvent(traceID, phase, step string, args map[string]any) {
+	if r == nil || r.spanEvents == nil || traceID == "" {
+		return
+	}
+	if args == nil {
+		args = map[string]any{}
+	}
+	args["step"] = step
+	args["trace_id"] = traceID
+	r.spanEvents.add(TraceEvent{
+		Name: flowName, Cat: flowCategory, Phase: phase, ID: traceID,
+		TS: r.Uptime().Seconds() * 1e6, PID: 1, TID: 1, Args: args,
+	})
+}
+
+// FlowEvent records a campaign flow node on the global recorder.
+func FlowEvent(traceID, phase, step string, args map[string]any) {
+	Global().FlowEvent(traceID, phase, step, args)
+}
+
+// TraceEventsFor returns the buffered events belonging to one trace: flow
+// events bound to the ID plus spans stamped with a matching trace_id arg.
+func (r *Recorder) TraceEventsFor(traceID string) []TraceEvent {
+	if r == nil || traceID == "" {
+		return nil
+	}
+	events, _ := r.spanEvents.snapshot()
+	var out []TraceEvent
+	for _, ev := range events {
+		if ev.ID == traceID {
+			out = append(out, ev)
+			continue
+		}
+		if id, ok := ev.Args["trace_id"].(string); ok && id == traceID {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// WriteTraceJSONFor renders one trace's events (flow nodes plus stamped
+// spans) as a standalone Chrome trace_event document — the per-job
+// trace.json the campaign runner archives next to the job manifest.
+func (r *Recorder) WriteTraceJSONFor(w io.Writer, traceID string) error {
+	events := r.TraceEventsFor(traceID)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].TS < events[j].TS })
+	all := make([]TraceEvent, 0, len(events)+1)
+	all = append(all, TraceEvent{
+		Name: "process_name", Phase: "M", PID: 1, TID: 1,
+		Args: map[string]any{"name": "reveald"},
+	})
+	all = append(all, events...)
+	doc := chromeTrace{
+		TraceEvents:     all,
+		DisplayTimeUnit: "ms",
+		Metadata:        map[string]any{"trace_id": traceID},
+	}
+	return json.NewEncoder(w).Encode(doc)
 }
 
 // RecordCoeff records one per-coefficient classification outcome: aggregate

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterVecCardinalityCap drives a capped vector past its limit: the
+// first maxCard values get their own series, everything after lands on the
+// single OverflowLabel series, and — critically — the registry does not
+// grow one series per unbounded input value.
+func TestCounterVecCardinalityCap(t *testing.T) {
+	reg := NewRegistry()
+	vec := reg.CounterVec("reveal_capped_total", "tenant", 3)
+	for i := 0; i < 50; i++ {
+		vec.With(fmt.Sprintf("tenant-%02d", i)).Inc()
+	}
+	snap := reg.Snapshot()
+	for i := 0; i < 3; i++ {
+		key := LabelKey("reveal_capped_total", "tenant", fmt.Sprintf("tenant-%02d", i))
+		if snap.Counters[key] != 1 {
+			t.Errorf("%s = %d, want 1", key, snap.Counters[key])
+		}
+	}
+	overflow := LabelKey("reveal_capped_total", "tenant", OverflowLabel)
+	if snap.Counters[overflow] != 47 {
+		t.Errorf("%s = %d, want 47", overflow, snap.Counters[overflow])
+	}
+	series := 0
+	for k := range snap.Counters {
+		if strings.HasPrefix(k, "reveal_capped_total{") {
+			series++
+		}
+	}
+	if series != 4 {
+		t.Fatalf("capped vec registered %d series, want 3 + overflow", series)
+	}
+	// Repeated lookups resolve to the same underlying counter.
+	if vec.With("tenant-00") != vec.With("tenant-00") {
+		t.Error("cache returned distinct counters for one label value")
+	}
+	if vec.With("tenant-40") != vec.With("tenant-41") {
+		t.Error("overflow values resolved to distinct counters")
+	}
+}
+
+// TestHistogramVecCardinalityCap is the histogram analogue.
+func TestHistogramVecCardinalityCap(t *testing.T) {
+	reg := NewRegistry()
+	vec := reg.HistogramVec("reveal_capped_seconds", "kind", 2)
+	for i := 0; i < 10; i++ {
+		vec.With(fmt.Sprintf("kind-%d", i)).Observe(float64(i))
+	}
+	snap := reg.Snapshot()
+	series := 0
+	for k := range snap.Histograms {
+		if strings.HasPrefix(k, "reveal_capped_seconds{") {
+			series++
+		}
+	}
+	if series != 3 {
+		t.Fatalf("capped histogram vec registered %d series, want 2 + overflow", series)
+	}
+	if got := snap.Histograms[LabelKey("reveal_capped_seconds", "kind", OverflowLabel)].Count; got != 8 {
+		t.Fatalf("overflow histogram observed %d, want 8", got)
+	}
+}
+
+// TestVecNilSafe checks the disabled-observability path: a nil registry
+// yields nil vectors whose metrics are no-op.
+func TestVecNilSafe(t *testing.T) {
+	var reg *Registry
+	cv := reg.CounterVec("x", "l", 4)
+	if cv != nil {
+		t.Fatal("nil registry built a counter vec")
+	}
+	cv.With("a").Inc() // must not panic
+	hv := reg.HistogramVec("x", "l", 4)
+	if hv != nil {
+		t.Fatal("nil registry built a histogram vec")
+	}
+	hv.With("a").Observe(1)
+}
+
+// TestVecConcurrent hammers a vector from many goroutines while snapshots
+// are taken — primarily a race-detector target for the lookup cache.
+func TestVecConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	vec := reg.CounterVec("reveal_conc_total", "w", 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				vec.With(fmt.Sprintf("w%d", i%8)).Inc()
+				if i%100 == 0 {
+					reg.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total int64
+	for k, v := range reg.Snapshot().Counters {
+		if strings.HasPrefix(k, "reveal_conc_total{") {
+			total += v
+		}
+	}
+	if total != 8*500 {
+		t.Fatalf("lost increments: %d, want %d", total, 8*500)
+	}
+}

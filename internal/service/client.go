@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"reveal/internal/jobs"
+	"reveal/internal/obs"
 )
 
 // Client is a thin HTTP client for the reveald API, used by
@@ -116,13 +117,38 @@ func (c *Client) Cancel(ctx context.Context, id string) (jobs.Status, error) {
 	return st, err
 }
 
-// Stats fetches the queue/cache stats.
+// Stats fetches the queue/cache depth counters.
 func (c *Client) Stats(ctx context.Context) (queued, running, cached int, err error) {
-	var resp statsResponse
-	if err = c.do(ctx, http.MethodGet, "/api/v1/stats", nil, &resp); err != nil {
+	resp, err := c.StatsFull(ctx)
+	if err != nil {
 		return 0, 0, 0, err
 	}
 	return resp.Queued, resp.Running, resp.CachedTemplates, nil
+}
+
+// StatsFull fetches the complete service statistics payload (worker
+// utilization, per-kind throughput, latency distributions).
+func (c *Client) StatsFull(ctx context.Context) (StatsResponse, error) {
+	var resp StatsResponse
+	err := c.do(ctx, http.MethodGet, "/api/v1/stats", nil, &resp)
+	return resp, err
+}
+
+// Events fetches a batch of service-journal events after the given cursor
+// from the daemon's /events endpoint (served next to the API on the same
+// listener). A positive wait long-polls until an event arrives or the
+// duration expires.
+func (c *Client) Events(ctx context.Context, since int64, max int, wait time.Duration) (obs.EventsResponse, error) {
+	path := fmt.Sprintf("/events?since=%d", since)
+	if max > 0 {
+		path += fmt.Sprintf("&max=%d", max)
+	}
+	if wait > 0 {
+		path += "&wait=" + wait.String()
+	}
+	var resp obs.EventsResponse
+	err := c.do(ctx, http.MethodGet, path, nil, &resp)
+	return resp, err
 }
 
 // WaitDone polls until the job reaches a terminal state or ctx expires.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -81,6 +82,10 @@ func (r *Runner) Run(ctx context.Context, job *jobs.Job) (any, error) {
 		return nil, fmt.Errorf("service: job %s payload is %T, want *CampaignSpec", job.ID, job.Payload)
 	}
 	start := time.Now()
+	lg, closeLog := r.jobLogger(job)
+	defer closeLog()
+	lg.Info("job attempt started", "kind", spec.Kind, "attempt", job.Attempts,
+		"seed", spec.Seed, "tenant", job.Tenant)
 	var (
 		result any
 		err    error
@@ -96,12 +101,46 @@ func (r *Runner) Run(ctx context.Context, job *jobs.Job) (any, error) {
 		return nil, fmt.Errorf("service: unknown campaign kind %q", spec.Kind)
 	}
 	if err != nil {
+		lg.Warn("job attempt failed", "attempt", job.Attempts, "error", err)
 		return nil, err
 	}
-	if werr := r.writeJobManifest(job, spec, result, start); werr != nil {
-		obs.Log().Warn("job manifest not written", "id", job.ID, "error", werr)
+	lg.Info("job attempt finished", "attempt", job.Attempts,
+		"elapsed", time.Since(start))
+	if werr := r.writeJobArtifacts(job, spec, result, start); werr != nil {
+		lg.Warn("job artifacts not fully written", "error", werr)
 	}
 	return result, nil
+}
+
+// jobLogger builds the job-scoped logger: the global stream teed with the
+// job's <DataDir>/<jobID>/run.log (JSON records), every record stamped
+// with the job ID and the request trace ID so a single grep correlates
+// daemon logs with the originating HTTP request. The returned closer
+// flushes the file; both are safe no-op fallbacks when DataDir is unset
+// or the file cannot be created.
+func (r *Runner) jobLogger(job *jobs.Job) (*slog.Logger, func()) {
+	attrs := func(lg *slog.Logger) *slog.Logger {
+		lg = lg.With("job_id", job.ID)
+		if job.TraceID != "" {
+			lg = lg.With("trace_id", job.TraceID)
+		}
+		return lg
+	}
+	if r.DataDir == "" {
+		return attrs(obs.Log()), func() {}
+	}
+	dir := filepath.Join(r.DataDir, job.ID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return attrs(obs.Log()), func() {}
+	}
+	// Append: a retried job logs every attempt into the same run.log.
+	f, err := os.OpenFile(filepath.Join(dir, "run.log"),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return attrs(obs.Log()), func() {}
+	}
+	fileLg := obs.NewLogger(obs.LogOptions{Level: slog.LevelDebug, JSON: true, Output: f})
+	return attrs(obs.TeeLogger(obs.Log(), fileLg)), func() { _ = f.Close() }
 }
 
 // classifier resolves the spec's trained classifier through the template
@@ -171,7 +210,7 @@ func (r *Runner) runAttack(ctx context.Context, spec *CampaignSpec) (*AttackCamp
 		for i := range pt.Coeffs {
 			pt.Coeffs[i] = uint64(i*31+run*7) % params.T
 		}
-		cap, err := core.CaptureEncryption(attackDev, params, enc, pt)
+		cap, err := core.CaptureEncryptionCtx(ctx, attackDev, params, enc, pt)
 		if err != nil {
 			return nil, fmt.Errorf("service: capturing encryption %d: %w", run, err)
 		}
@@ -207,7 +246,7 @@ func (r *Runner) runAttack(ctx context.Context, spec *CampaignSpec) (*AttackCamp
 		}
 		score(out.E1, cap.Truth.E1)
 		score(out.E2, cap.Truth.E2)
-		core.EmitOutcomeEvents(out, cap)
+		core.EmitOutcomeEventsCtx(ctx, out, cap)
 		if spec.KeepProbs && run == spec.Encryptions-1 {
 			res.LastProbs = out.E2.Probs
 		}
@@ -221,7 +260,7 @@ func (r *Runner) runAttack(ctx context.Context, spec *CampaignSpec) (*AttackCamp
 		res.ZeroAcc = float64(zeroOK) / float64(zeroTotal)
 	}
 	res.ElapsedMS = time.Since(start).Milliseconds()
-	obs.Log().Info("attack campaign finished",
+	obs.LogCtx(ctx).Info("attack campaign finished",
 		"seed", spec.Seed, "encryptions", spec.Encryptions,
 		"coefficients", res.Coefficients, "value_acc", res.ValueAcc,
 		"cache_hit", hit, "workers", workers)
@@ -258,11 +297,13 @@ func runSleep(ctx context.Context, spec *CampaignSpec, attempt int) (*SleepCampa
 	return &SleepCampaignResult{Kind: spec.Kind, SleptMS: spec.SleepMS, Attempts: attempt}, nil
 }
 
-// writeJobManifest archives one finished job into DataDir/<jobID>/:
-// the campaign spec, headline results, and a registry snapshot. Manifests
-// are written directly (not through obs.StartRun, which swaps the global
+// writeJobArtifacts archives one finished job into DataDir/<jobID>/:
+// manifest.json (spec, headline results, registry snapshot, trace ID) and
+// — when tracing is on and the job carries a trace identity — trace.json
+// with the job's slice of the span/flow event buffer. Manifests are
+// written directly (not through obs.StartRun, which swaps the global
 // recorder and is not safe with concurrent jobs).
-func (r *Runner) writeJobManifest(job *jobs.Job, spec *CampaignSpec, result any, start time.Time) error {
+func (r *Runner) writeJobArtifacts(job *jobs.Job, spec *CampaignSpec, result any, start time.Time) error {
 	if r.DataDir == "" {
 		return nil
 	}
@@ -278,6 +319,7 @@ func (r *Runner) writeJobManifest(job *jobs.Job, spec *CampaignSpec, result any,
 	m := &obs.Manifest{
 		Tool:            "reveald",
 		Command:         spec.Kind,
+		TraceID:         job.TraceID,
 		Seed:            spec.Seed,
 		GoVersion:       runtime.Version(),
 		StartTime:       start.UTC(),
@@ -287,5 +329,18 @@ func (r *Runner) writeJobManifest(job *jobs.Job, spec *CampaignSpec, result any,
 		Results:         map[string]any{"job_id": job.ID, "result": result},
 		Metrics:         obs.Global().Registry().Snapshot(),
 	}
-	return obs.WriteManifest(filepath.Join(dir, "manifest.json"), m)
+	firstErr := obs.WriteManifest(filepath.Join(dir, "manifest.json"), m)
+	if rec := obs.Global(); rec.TracingEnabled() && job.TraceID != "" {
+		f, err := os.Create(filepath.Join(dir, "trace.json"))
+		if err == nil {
+			err = rec.WriteTraceJSONFor(f, job.TraceID)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("service: writing trace.json: %w", err)
+		}
+	}
+	return firstErr
 }

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
+	"time"
 
 	"reveal/internal/core"
 	"reveal/internal/jobs"
@@ -29,11 +31,12 @@ type Config struct {
 // Server is the campaign service: the queue, the worker pool, the template
 // cache, and the HTTP API over them.
 type Server struct {
-	queue  *jobs.Queue
-	pool   *jobs.Pool
-	cache  *core.TemplateCache
-	runner *Runner
-	mux    *http.ServeMux
+	queue   *jobs.Queue
+	pool    *jobs.Pool
+	cache   *core.TemplateCache
+	runner  *Runner
+	mux     *http.ServeMux
+	started time.Time
 }
 
 // New assembles a Server. Call Start to launch the workers.
@@ -48,8 +51,9 @@ func New(cfg Config) *Server {
 		cfg.CacheCapacity = 4
 	}
 	s := &Server{
-		queue: jobs.NewQueue(cfg.QueueOptions),
-		cache: core.NewTemplateCache(cfg.CacheCapacity),
+		queue:   jobs.NewQueue(cfg.QueueOptions),
+		cache:   core.NewTemplateCache(cfg.CacheCapacity),
+		started: time.Now(),
 	}
 	s.runner = &Runner{Cache: s.cache, Workers: cfg.ClassifyWorkers, DataDir: cfg.DataDir}
 	s.pool = jobs.NewPool(s.queue, cfg.PoolWorkers, s.runner.Run)
@@ -77,6 +81,25 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Queue exposes the underlying queue (used by tests and revealctl-adjacent
 // tooling).
 func (s *Server) Queue() *jobs.Queue { return s.queue }
+
+// RouteLabel maps an API request to its bounded route template for the
+// per-route HTTP metrics (passed as obs.ServeConfig.APIRoute). Raw paths
+// never become label values, so crafted URLs cannot grow the label space.
+func RouteLabel(r *http.Request) string {
+	p := r.URL.Path
+	switch {
+	case p == "/api/v1/campaigns":
+		return "/api/v1/campaigns"
+	case p == "/api/v1/stats":
+		return "/api/v1/stats"
+	case strings.HasPrefix(p, "/api/v1/campaigns/"):
+		if strings.HasSuffix(p, "/result") {
+			return "/api/v1/campaigns/{id}/result"
+		}
+		return "/api/v1/campaigns/{id}"
+	}
+	return "/api/other"
+}
 
 // apiError is the uniform error payload.
 type apiError struct {
@@ -113,17 +136,30 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// The trace identity was minted (or adopted from X-Reveal-Trace-Id) by
+	// the HTTP middleware; stamping it on the job spec carries it across
+	// the queue into the worker, and the flow event ties the HTTP request
+	// node to the queue/attempt nodes in the Chrome trace export.
+	traceID := obs.TraceIDFrom(r.Context())
+	if traceID != "" {
+		obs.FlowEvent(traceID, obs.FlowStart, "submit", map[string]any{
+			"kind": spec.Kind, "tenant": spec.Tenant,
+		})
+	}
 	st, err := s.queue.Submit(jobs.Spec{
 		Kind:        spec.Kind,
 		Payload:     &spec,
 		MaxAttempts: spec.MaxAttempts,
 		Timeout:     spec.Timeout(),
+		TraceID:     traceID,
+		Tenant:      spec.Tenant,
 	})
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
-	obs.Log().Info("campaign accepted", "id", st.ID, "kind", spec.Kind, "seed", spec.Seed)
+	obs.LogCtx(r.Context()).Info("campaign accepted",
+		"id", st.ID, "kind", spec.Kind, "tenant", spec.Tenant, "seed", spec.Seed)
 	writeJSON(w, http.StatusAccepted, submitResponse{Job: st, Spec: &spec})
 }
 
@@ -166,18 +202,50 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
-// statsResponse is the GET /stats payload.
-type statsResponse struct {
-	Queued          int `json:"queued"`
-	Running         int `json:"running"`
-	CachedTemplates int `json:"cached_templates"`
+// StatsResponse is the GET /api/v1/stats payload: queue depth, worker
+// utilization, per-kind throughput, and the queue-wait / attempt-latency
+// distributions the revealctl top dashboard renders.
+type StatsResponse struct {
+	Queued          int              `json:"queued"`
+	Running         int              `json:"running"`
+	CachedTemplates int              `json:"cached_templates"`
+	Workers         int              `json:"workers"`
+	WorkersBusy     int              `json:"workers_busy"`
+	UptimeSeconds   float64          `json:"uptime_seconds"`
+	Kinds           []jobs.KindStats `json:"kinds,omitempty"`
+	// QueueWait and AttemptLatency summarize the per-kind histograms
+	// (reveal_jobs_queue_wait_seconds / reveal_jobs_attempt_duration_seconds)
+	// keyed by job kind.
+	QueueWait      map[string]obs.HistogramSnapshot `json:"queue_wait,omitempty"`
+	AttemptLatency map[string]obs.HistogramSnapshot `json:"attempt_latency,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	queued, running := s.queue.Depth()
-	writeJSON(w, http.StatusOK, statsResponse{
+	workers, busy := s.pool.Stats()
+	resp := StatsResponse{
 		Queued:          queued,
 		Running:         running,
 		CachedTemplates: s.cache.Len(),
-	})
+		Workers:         workers,
+		WorkersBusy:     busy,
+		UptimeSeconds:   time.Since(s.started).Seconds(),
+		Kinds:           s.queue.StatsByKind(),
+	}
+	if reg := obs.Global().Registry(); reg != nil {
+		for _, ks := range resp.Kinds {
+			if ks.Submitted == 0 {
+				continue
+			}
+			if resp.QueueWait == nil {
+				resp.QueueWait = map[string]obs.HistogramSnapshot{}
+				resp.AttemptLatency = map[string]obs.HistogramSnapshot{}
+			}
+			resp.QueueWait[ks.Kind] = reg.Histogram(
+				obs.LabelKey(jobs.MetricQueueWait, "kind", ks.Kind)).Snapshot()
+			resp.AttemptLatency[ks.Kind] = reg.Histogram(
+				obs.LabelKey(jobs.MetricAttemptDuration, "kind", ks.Kind)).Snapshot()
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

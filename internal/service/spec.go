@@ -50,6 +50,9 @@ type CampaignSpec struct {
 	// KeepProbs embeds the full per-coefficient posterior tables of the
 	// last encryption in the result (large; off by default).
 	KeepProbs bool `json:"keep_probs,omitempty"`
+	// Tenant attributes the campaign to a client identity for the
+	// per-tenant service counters (optional, at most 64 characters).
+	Tenant string `json:"tenant,omitempty"`
 
 	// MaxAttempts bounds job attempts (0 uses the queue default).
 	MaxAttempts int `json:"max_attempts,omitempty"`
@@ -81,6 +84,9 @@ func (s *CampaignSpec) Normalize() error {
 	if s.ProfileTracesPerValue < 0 || s.Workers < 0 || s.MaxAttempts < 0 ||
 		s.TimeoutMS < 0 || s.SleepMS < 0 || s.FailAttempts < 0 {
 		return fmt.Errorf("service: negative values are not allowed in a campaign spec")
+	}
+	if len(s.Tenant) > 64 {
+		return fmt.Errorf("service: tenant %q exceeds 64 characters", s.Tenant)
 	}
 	return nil
 }
