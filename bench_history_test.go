@@ -1,0 +1,83 @@
+package reveal
+
+import (
+	"fmt"
+	"testing"
+
+	"reveal/internal/obs/history"
+)
+
+// historyBenchRecord fabricates a realistic attack-quality record: ~10
+// numeric fields, the shape the service appends per finished campaign.
+func historyBenchRecord(i int) history.RunRecord {
+	return history.RunRecord{
+		Kind:           "attack",
+		Tenant:         "bench",
+		JobID:          fmt.Sprintf("job-%06d", i),
+		Seed:           uint64(i),
+		ElapsedSeconds: 2.0 + float64(i%7)*0.01,
+		Stages: map[string]float64{
+			"queue_wait_seconds": 0.001,
+			"profile_seconds":    1.2,
+			"attack_seconds":     0.8,
+		},
+		Metrics: map[string]float64{
+			"value_accuracy": 0.95 + float64(i%5)*0.001,
+			"sign_accuracy":  0.99,
+			"zero_accuracy":  0.97,
+			"mean_margin":    0.82,
+			"hinted_bikz":    13.7,
+		},
+	}
+}
+
+// BenchmarkHistoryAppend measures the store's append path — JSON encode,
+// segment write, index update, rotation and retention — at the default
+// segment geometry. One op is one finished campaign's record.
+func BenchmarkHistoryAppend(b *testing.B) {
+	br := snapshotBench(b)
+	s, err := history.Open(history.Options{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Append(historyBenchRecord(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	br.Metric(float64(s.Len()), "records-retained")
+	br.Metric(float64(b.N)/b.Elapsed().Seconds(), "appends-per-second")
+}
+
+// BenchmarkHistoryQuery measures a cursor page plus the per-kind rollup
+// over a store holding a full retention window — the /api/v1/history and
+// /api/v1/history/aggregate serving path.
+func BenchmarkHistoryQuery(b *testing.B) {
+	br := snapshotBench(b)
+	s, err := history.Open(history.Options{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if _, err := s.Append(historyBenchRecord(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	var total int
+	for i := 0; i < b.N; i++ {
+		page := s.Query(history.Query{Kind: "attack", AfterSeq: int64(i % n), Limit: 100})
+		agg := s.Aggregate("attack", "", 64)
+		total = page.Total + agg.Runs
+	}
+	b.StopTimer()
+	if total == 0 {
+		b.Fatal("query returned nothing")
+	}
+	br.Metric(float64(s.Len()), "records-stored")
+}

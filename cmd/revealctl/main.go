@@ -13,6 +13,7 @@
 //	revealctl submit [-addr URL] [-spec FILE | -kind K -seed S ...] [-tenant T] [-wait]
 //	revealctl status [-addr URL] [-id ID] [-result] [-json]
 //	revealctl top [-addr URL] [-interval DUR] [-n N]
+//	revealctl report [-addr URL] [-kind K] [-tenant T] [-window N] [-format F] [-o FILE]
 //	revealctl selftest [-seed S] [-workers N] [-json] [-q]
 //
 // Every subcommand accepts the observability flags:
@@ -60,6 +61,8 @@ func main() {
 		err = runStatus(os.Args[2:])
 	case "top":
 		err = runTop(os.Args[2:])
+	case "report":
+		err = runReport(os.Args[2:])
 	case "selftest":
 		err = runSelftest(os.Args[2:])
 	default:
@@ -84,7 +87,8 @@ commands:
   compare  diff two manifest.json/BENCH_*.json files; exit 1 on regression
   submit   post a campaign spec to a running reveald daemon
   status   list a reveald daemon's jobs or show one job's status/result
-  top      live terminal dashboard over a running reveald (queue, workers, events)
+  top      live terminal dashboard over a running reveald (queue, workers, quality, events)
+  report   quality-trajectory report (markdown/CSV) from a reveald history store
   selftest replay-determinism gate: serial vs parallel attack, digest printed
 
 observability (all commands):

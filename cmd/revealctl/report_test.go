@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"reveal/internal/obs/history"
+	"reveal/internal/service"
+)
+
+// fakeHistoryDaemon serves canned /api/v1/history and /aggregate payloads,
+// honoring the after cursor so pagination is exercised for real.
+func fakeHistoryDaemon(t *testing.T, records []history.RunRecord,
+	agg service.HistoryAggregateResponse) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/v1/history", func(w http.ResponseWriter, r *http.Request) {
+		var after int64
+		if s := r.URL.Query().Get("after"); s != "" {
+			if err := json.Unmarshal([]byte(s), &after); err != nil {
+				http.Error(w, "bad cursor", http.StatusBadRequest)
+				return
+			}
+		}
+		resp := service.HistoryResponse{Records: []history.RunRecord{}, Total: len(records)}
+		// One record per page forces the client to walk the cursor.
+		for _, rec := range records {
+			if rec.Seq > after {
+				resp.Records = append(resp.Records, rec)
+				if rec.Seq < records[len(records)-1].Seq {
+					resp.NextAfter = rec.Seq
+				}
+				break
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(resp)
+	})
+	mux.HandleFunc("GET /api/v1/history/aggregate", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(agg)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func testReportFixture() ([]history.RunRecord, service.HistoryAggregateResponse) {
+	t0 := time.Date(2026, 8, 7, 10, 0, 0, 0, time.UTC)
+	records := []history.RunRecord{
+		{Seq: 1, Time: t0, Kind: "attack", Tenant: "ci", JobID: "job-1",
+			ElapsedSeconds: 2.0,
+			Stages:         map[string]float64{"attack_seconds": 1.5},
+			Metrics:        map[string]float64{"value_accuracy": 0.99, "mean_margin": 0.9}},
+		{Seq: 2, Time: t0.Add(time.Minute), Kind: "attack", Tenant: "ci", JobID: "job-2",
+			ElapsedSeconds: 2.1,
+			Stages:         map[string]float64{"attack_seconds": 1.6},
+			Metrics:        map[string]float64{"value_accuracy": 0.70, "mean_margin": 0.5}},
+	}
+	agg := service.HistoryAggregateResponse{
+		Aggregates: []history.KindAggregate{{
+			Kind: "attack", Runs: 2,
+			Metrics: []history.MetricAggregate{
+				{Metric: "elapsed_seconds", Count: 2, Mean: 2.05, P50: 2.0,
+					P95: 2.1, Last: 2.1, EWMA: 2.03},
+				{Metric: "mean_margin", Count: 2, Mean: 0.7, P50: 0.5,
+					P95: 0.9, Last: 0.5, EWMA: 0.78},
+				{Metric: "stage.attack_seconds", Count: 2, Mean: 1.55, P50: 1.5,
+					P95: 1.6, Last: 1.6, EWMA: 1.53},
+				{Metric: "value_accuracy", Count: 2, Mean: 0.845, P50: 0.70,
+					P95: 0.99, Last: 0.70, EWMA: 0.903},
+			},
+		}},
+		Baselines: map[string]map[string]float64{
+			"attack": {"value_accuracy": 0.99},
+		},
+	}
+	return records, agg
+}
+
+// TestWriteReportMarkdown checks the rendered trajectory report: aggregate
+// table with baseline deltas, and one trajectory row per run.
+func TestWriteReportMarkdown(t *testing.T) {
+	records, agg := testReportFixture()
+	var buf bytes.Buffer
+	if err := writeReportMarkdown(&buf, "http://x", records, agg, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# Campaign quality report",
+		"## attack (2 runs)",
+		"| value_accuracy | 2 | 0.8450 |",
+		"0.9900 |",   // baseline column
+		"| -14.6% |", // (0.845-0.99)/0.99
+		"Trajectory (newest 2 runs):",
+		"| 1 | 08-07 10:00:00 | ci |",
+		"| 2 |",
+		"stage.attack_seconds",
+		"elapsed_seconds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	// Empty history renders the placeholder, not an empty table.
+	buf.Reset()
+	if err := writeReportMarkdown(&buf, "http://x", nil,
+		service.HistoryAggregateResponse{}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "No finished campaigns") {
+		t.Errorf("empty report = %q", buf.String())
+	}
+}
+
+// TestWriteReportCSV checks the long-form CSV: header plus one row per
+// record and metric, parseable by encoding/csv.
+func TestWriteReportCSV(t *testing.T) {
+	records, _ := testReportFixture()
+	var buf bytes.Buffer
+	if err := writeReportCSV(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 records × 4 values (2 metrics + 1 stage + elapsed) + header.
+	if len(rows) != 9 {
+		t.Fatalf("csv rows = %d, want 9: %v", len(rows), rows)
+	}
+	if got := strings.Join(rows[0], ","); got != "seq,time,kind,tenant,job_id,metric,value" {
+		t.Fatalf("csv header = %s", got)
+	}
+	found := false
+	for _, row := range rows[1:] {
+		if row[0] == "2" && row[5] == "value_accuracy" && row[6] == "0.7" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("csv missing value row: %v", rows)
+	}
+}
+
+// TestFetchAllHistoryPaginates walks a daemon that serves one record per
+// page and checks the client reassembles the full trajectory.
+func TestFetchAllHistoryPaginates(t *testing.T) {
+	records, agg := testReportFixture()
+	ts := fakeHistoryDaemon(t, records, agg)
+	got, err := fetchAllHistory(context.Background(), service.NewClient(ts.URL), "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Fatalf("paginated fetch = %+v", got)
+	}
+}

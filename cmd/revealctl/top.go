@@ -51,18 +51,26 @@ func runTop(args []string) error {
 				recent = recent[len(recent)-*events:]
 			}
 		}
+		// The quality pane is likewise optional: daemons without -data-dir
+		// answer 503 and the pane is simply omitted.
+		var quality *service.HistoryAggregateResponse
+		if agg, err := client.HistoryAggregate(ctx, "", "", 0); err == nil {
+			quality = &agg
+		}
 		if !*noClear {
 			// Home the cursor and clear: a flicker-free redraw in any ANSI
 			// terminal without external dependencies.
 			fmt.Print("\033[H\033[2J")
 		}
-		renderTop(os.Stdout, *addr, stats, recent)
+		renderTop(os.Stdout, *addr, stats, quality, recent)
 	}
 	return nil
 }
 
-// renderTop writes one dashboard frame.
-func renderTop(w io.Writer, addr string, stats service.StatsResponse, events []obs.ServiceEvent) {
+// renderTop writes one dashboard frame. quality is nil when the daemon has
+// no history store.
+func renderTop(w io.Writer, addr string, stats service.StatsResponse,
+	quality *service.HistoryAggregateResponse, events []obs.ServiceEvent) {
 	fmt.Fprintf(w, "reveald %s  up %s  %s\n\n", addr,
 		time.Duration(stats.UptimeSeconds*float64(time.Second)).Truncate(time.Second),
 		time.Now().Format("15:04:05"))
@@ -80,6 +88,29 @@ func renderTop(w io.Writer, addr string, stats service.StatsResponse, events []o
 			if qw, ok := stats.QueueWait[ks.Kind]; ok && qw.Count > 0 {
 				fmt.Fprintf(w, "%-10s %51s  %8s %8s %8s\n",
 					"", "queue wait:", fmtSeconds(qw.P50), fmtSeconds(qw.P95), fmtSeconds(qw.P99))
+			}
+		}
+		fmt.Fprintln(w)
+	}
+
+	if quality != nil && len(quality.Aggregates) > 0 {
+		fmt.Fprintln(w, "quality (history):")
+		fmt.Fprintf(w, "  %-10s %-18s %5s %9s %9s %9s %9s\n",
+			"KIND", "METRIC", "RUNS", "MEAN", "LAST", "EWMA", "Δ BASE")
+		for _, ka := range quality.Aggregates {
+			base := quality.Baselines[ka.Kind]
+			for _, m := range ka.Metrics {
+				// The dashboard shows the quality signals; per-stage timing
+				// lives in the latency table above.
+				if strings.HasPrefix(m.Metric, "stage.") || m.Metric == "elapsed_seconds" {
+					continue
+				}
+				delta := "-"
+				if b, ok := base[m.Metric]; ok && b != 0 {
+					delta = fmt.Sprintf("%+.1f%%", 100*(m.Mean-b)/b)
+				}
+				fmt.Fprintf(w, "  %-10s %-18s %5d %9.4f %9.4f %9.4f %9s\n",
+					ka.Kind, m.Metric, m.Count, m.Mean, m.Last, m.EWMA, delta)
 			}
 		}
 		fmt.Fprintln(w)

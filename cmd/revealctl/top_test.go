@@ -8,6 +8,7 @@ import (
 
 	"reveal/internal/jobs"
 	"reveal/internal/obs"
+	"reveal/internal/obs/history"
 	"reveal/internal/service"
 )
 
@@ -37,8 +38,21 @@ func TestRenderTop(t *testing.T) {
 			Detail: "trained lownoise in 1.20s"},
 	}
 
+	quality := &service.HistoryAggregateResponse{
+		Aggregates: []history.KindAggregate{{
+			Kind: "attack", Runs: 6,
+			Metrics: []history.MetricAggregate{
+				{Metric: "value_accuracy", Count: 6, Mean: 0.90, Last: 0.85, EWMA: 0.88},
+				{Metric: "stage.attack_seconds", Count: 6, Mean: 0.4, Last: 0.4, EWMA: 0.4},
+			},
+		}},
+		Baselines: map[string]map[string]float64{
+			"attack": {"value_accuracy": 0.95},
+		},
+	}
+
 	var buf bytes.Buffer
-	renderTop(&buf, "http://127.0.0.1:9090", stats, events)
+	renderTop(&buf, "http://127.0.0.1:9090", stats, quality, events)
 	out := buf.String()
 	for _, want := range []string{
 		"workers 1/4 busy",
@@ -57,10 +71,23 @@ func TestRenderTop(t *testing.T) {
 		"trace=trace-abc",
 		"cache_fill",
 		"trained lownoise",
+		"quality (history):",
+		"value_accuracy",
+		"-5.3%", // mean 0.90 vs pinned baseline 0.95
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("frame missing %q:\n%s", want, out)
 		}
+	}
+	// Stage timings stay out of the quality pane.
+	if strings.Contains(out, "stage.attack_seconds") {
+		t.Errorf("quality pane must omit stage timings:\n%s", out)
+	}
+	// A daemon without a history store renders no quality pane.
+	buf.Reset()
+	renderTop(&buf, "http://127.0.0.1:9090", stats, nil, events)
+	if strings.Contains(buf.String(), "quality (history):") {
+		t.Error("nil quality must omit the pane")
 	}
 	// A kind with no latency observations renders "-" placeholders.
 	for _, line := range strings.Split(out, "\n") {

@@ -9,6 +9,8 @@
 //
 //	reveald [-addr :9090] [-workers N] [-classify-workers N] [-queue N]
 //	        [-cache N] [-retries N] [-backoff DUR] [-data-dir DIR]
+//	        [-drift-window N] [-drift-min-runs N] [-drift-tol F]
+//	        [-profile-interval DUR] [-profile-cpu DUR]
 //	        [-drain-timeout DUR] [-log-level LEVEL] [-log-json] [-selftest]
 //
 // With -selftest the daemon first runs the replay-determinism gate
@@ -23,6 +25,8 @@
 //	GET    /api/v1/campaigns/{id}/result result of a finished job
 //	DELETE /api/v1/campaigns/{id}        cancel a job
 //	GET    /api/v1/stats                 queue/worker stats, per-kind latency
+//	GET    /api/v1/history               quality-history records (paginated)
+//	GET    /api/v1/history/aggregate     per-kind quality rollups + baselines
 //	/metrics /progress /healthz /readyz /events /debug/pprof  (observability)
 //
 // Every request carries a trace identity: an X-Reveal-Trace-Id header is
@@ -34,7 +38,11 @@
 // On SIGTERM/SIGINT the daemon flips /readyz to 503 (load balancers stop
 // routing), stops accepting submissions, lets running jobs finish for up
 // to -drain-timeout, then cancels them and exits. With -data-dir the
-// service journal is additionally appended to <data-dir>/events.jsonl.
+// service journal is additionally appended to <data-dir>/events.jsonl
+// (flushed and fsynced on drain), every finished campaign appends one
+// quality record to the <data-dir>/history store watched by the drift
+// watchdog, and -profile-interval > 0 captures periodic CPU/heap pprof
+// profiles under <data-dir>/profiles with a retention cap.
 package main
 
 import (
@@ -52,6 +60,7 @@ import (
 	"reveal/internal/core"
 	"reveal/internal/jobs"
 	"reveal/internal/obs"
+	"reveal/internal/obs/history"
 	"reveal/internal/service"
 )
 
@@ -72,6 +81,12 @@ func run(args []string) error {
 	retries := fs.Int("retries", 3, "default attempts per job")
 	backoff := fs.Duration("backoff", 500*time.Millisecond, "base retry backoff (doubles per attempt)")
 	dataDir := fs.String("data-dir", "", "write one run directory with a manifest per finished job")
+	driftWindow := fs.Int("drift-window", 8, "rolling window (runs) for the quality-drift watchdog")
+	driftMinRuns := fs.Int("drift-min-runs", 4, "healthy runs required before a drift baseline is pinned")
+	driftTol := fs.Float64("drift-tol", 0.05, "relative quality degradation tolerated before a drift alert")
+	profileInterval := fs.Duration("profile-interval", 0, "capture CPU/heap pprof profiles this often (0 = disabled; needs -data-dir)")
+	profileCPU := fs.Duration("profile-cpu", time.Second, "CPU profile duration per capture cycle")
+	profileKeep := fs.Int("profile-keep", 8, "profiles retained per type before the oldest are pruned")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long to let running jobs finish on shutdown")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
 	logJSON := fs.Bool("log-json", false, "emit JSON log records")
@@ -93,6 +108,8 @@ func run(args []string) error {
 	obs.SetGlobal(rec)
 
 	var eventsFile *os.File
+	var hist *history.Store
+	var watchdog *history.Watchdog
 	if *dataDir != "" {
 		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
 			return fmt.Errorf("creating data dir: %w", err)
@@ -105,9 +122,63 @@ func run(args []string) error {
 		eventsFile = f
 		rec.Events().AttachSink(f)
 		defer func() {
-			rec.Events().CloseSink()
+			// Flush + fsync the buffered journal tail before the process
+			// exits; a SIGTERM drain must not lose the final events.
+			if dropped := rec.Events().CloseSink(); dropped > 0 {
+				obs.Log().Warn("event journal dropped events", "dropped", dropped)
+			}
 			_ = eventsFile.Close()
 		}()
+
+		histDir := filepath.Join(*dataDir, "history")
+		if err := os.MkdirAll(histDir, 0o755); err != nil {
+			return fmt.Errorf("creating history dir: %w", err)
+		}
+		hist, err = history.Open(history.Options{Dir: histDir})
+		if err != nil {
+			return fmt.Errorf("opening history store: %w", err)
+		}
+		defer hist.Close()
+		if hist.Skipped() > 0 {
+			obs.Log().Warn("history store skipped torn records on replay",
+				"skipped", hist.Skipped())
+		}
+		watchdog, err = history.NewWatchdog(history.DriftConfig{
+			Window:       *driftWindow,
+			MinRuns:      *driftMinRuns,
+			Tolerance:    *driftTol,
+			BaselinePath: filepath.Join(histDir, "baselines.json"),
+			Registry:     rec.Registry(),
+			Emit:         obs.Emit,
+		})
+		if err != nil {
+			return fmt.Errorf("starting drift watchdog: %w", err)
+		}
+		obs.Log().Info("quality history enabled",
+			"dir", histDir, "records", hist.Len(),
+			"drift_window", *driftWindow, "drift_tol", *driftTol,
+			"baseline_kinds", watchdog.Kinds())
+
+		if *profileInterval > 0 {
+			prof, err := obs.NewProfiler(obs.ProfilerOptions{
+				Dir:         filepath.Join(*dataDir, "profiles"),
+				Interval:    *profileInterval,
+				CPUDuration: *profileCPU,
+				MaxProfiles: *profileKeep,
+				Registry:    rec.Registry(),
+			})
+			if err != nil {
+				return fmt.Errorf("starting profiler: %w", err)
+			}
+			prof.Start()
+			defer prof.Close()
+			obs.Log().Info("continuous profiling enabled",
+				"dir", filepath.Join(*dataDir, "profiles"),
+				"interval", profileInterval.String(), "cpu", profileCPU.String(),
+				"keep", *profileKeep)
+		}
+	} else if *profileInterval > 0 {
+		return errors.New("-profile-interval requires -data-dir")
 	}
 
 	if *selftest {
@@ -132,6 +203,8 @@ func run(args []string) error {
 		ClassifyWorkers: *classifyWorkers,
 		CacheCapacity:   *cacheCap,
 		DataDir:         *dataDir,
+		History:         hist,
+		Watchdog:        watchdog,
 	})
 	// draining flips before the pool drains so load balancers watching
 	// /readyz stop routing while running jobs are still finishing.

@@ -164,6 +164,16 @@ func metricDirection(name string) (dir string, perf bool) {
 		strings.Contains(base, "success") || strings.Contains(base, "correct"):
 		// "-acc-" covers the benchmark metric convention ("value-acc-%").
 		return "higher_better", false
+	case strings.Contains(base, "margin") || strings.Contains(base, "snr") ||
+		strings.Contains(base, "tvla") || strings.Contains(base, "health"):
+		// Attack-quality signals: posterior margin, leakage strength
+		// (SNR / TVLA |t| maxima), and template conditioning all degrade
+		// downward.
+		return "higher_better", false
+	case strings.Contains(base, "bikz"):
+		// DBDD hardness left after hint integration: a *rising* bikz means
+		// the hints got weaker, so lower is better for the attack.
+		return "lower_better", false
 	default:
 		return "informational", false
 	}

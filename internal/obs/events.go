@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"io"
@@ -25,6 +26,10 @@ const (
 	EventCacheFill    = "cache_fill"
 	EventDrainStarted = "drain_started"
 	EventDrainDone    = "drain_done"
+	// EventQualityDrift is emitted by the history drift watchdog when a
+	// gated quality metric's rolling mean crosses its tolerance against
+	// the pinned baseline.
+	EventQualityDrift = "quality_drift"
 )
 
 // ServiceEvent is one record in the append-only service journal
@@ -205,8 +210,10 @@ func (l *EventLog) SinkDropped() int64 {
 // AttachSink starts a background goroutine encoding every appended event as
 // one JSON line to w (the service's events.jsonl). The writer is decoupled
 // from producers by a bounded channel: when it falls behind, events are
-// dropped and counted instead of backpressuring the job queue. Call
-// CloseSink to flush and stop. Only the first AttachSink takes effect.
+// dropped and counted instead of backpressuring the job queue. Writes are
+// buffered and flushed whenever the channel runs dry, so the file trails
+// the journal only while a burst is in flight. Call CloseSink to flush,
+// fsync, and stop. Only the first AttachSink takes effect.
 func (l *EventLog) AttachSink(w io.Writer) {
 	if l == nil || w == nil {
 		return
@@ -220,24 +227,58 @@ func (l *EventLog) AttachSink(w io.Writer) {
 		l.mu.Unlock()
 		go func() {
 			defer close(done)
-			enc := json.NewEncoder(w)
-			for ev := range ch {
-				if err := enc.Encode(ev); err != nil {
+			bw := bufio.NewWriter(w)
+			enc := json.NewEncoder(bw)
+			// unflushed counts events encoded into the buffer since the
+			// last successful flush: a failing flush loses exactly those.
+			unflushed := 0
+			drop := func(n int) {
+				if n <= 0 {
+					return
+				}
+				l.sinkDropped.Add(int64(n))
+				l.reg.Counter(MetricServiceEventsDropped).Add(int64(n))
+			}
+			flush := func() {
+				if unflushed == 0 {
+					return
+				}
+				if err := bw.Flush(); err != nil {
 					// A dead sink (disk full, closed file) must not wedge
 					// the drain loop; count the loss and keep consuming.
-					l.sinkDropped.Add(1)
-					l.reg.Counter(MetricServiceEventsDropped).Inc()
+					drop(unflushed)
 				}
+				unflushed = 0
+			}
+			for ev := range ch {
+				if err := enc.Encode(ev); err != nil {
+					drop(1)
+				} else {
+					unflushed++
+				}
+				if len(ch) == 0 {
+					flush()
+				}
+			}
+			// Shutdown: everything queued has been encoded — push it to
+			// the file and force it to stable storage so the journal is
+			// complete on disk even when the process exits right after a
+			// SIGTERM drain.
+			flush()
+			if s, ok := w.(interface{ Sync() error }); ok {
+				_ = s.Sync()
 			}
 		}()
 	})
 }
 
-// CloseSink stops the sink goroutine after it has drained every queued
-// event. Safe to call without an attached sink, and at most once.
-func (l *EventLog) CloseSink() {
+// CloseSink stops the sink goroutine after it has drained, flushed, and
+// fsynced every queued event, and returns the total number of events the
+// sink dropped over its lifetime (0 = the journal file is complete). Safe
+// to call without an attached sink, and at most once.
+func (l *EventLog) CloseSink() int64 {
 	if l == nil {
-		return
+		return 0
 	}
 	l.mu.Lock()
 	ch := l.sinkCh
@@ -245,10 +286,11 @@ func (l *EventLog) CloseSink() {
 	l.sinkCh = nil
 	l.mu.Unlock()
 	if ch == nil {
-		return
+		return l.sinkDropped.Load()
 	}
 	close(ch)
 	<-done
+	return l.sinkDropped.Load()
 }
 
 // Events returns the recorder's service event log (nil when disabled).

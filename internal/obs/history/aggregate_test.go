@@ -1,0 +1,116 @@
+package history
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("%s = %v, want %v", name, got, want)
+	}
+}
+
+func TestAggregateRecords(t *testing.T) {
+	var recs []RunRecord
+	vals := []float64{0.90, 0.92, 0.94, 0.96}
+	for _, v := range vals {
+		recs = append(recs, RunRecord{
+			Kind:           "attack",
+			ElapsedSeconds: 1.5,
+			Stages:         map[string]float64{"attack_seconds": 1.0},
+			Metrics:        map[string]float64{"value_accuracy": v},
+		})
+	}
+	aggs := AggregateRecords(recs)
+	byName := map[string]MetricAggregate{}
+	for _, a := range aggs {
+		byName[a.Metric] = a
+	}
+	acc, ok := byName["value_accuracy"]
+	if !ok {
+		t.Fatalf("value_accuracy missing: %+v", aggs)
+	}
+	if acc.Count != 4 {
+		t.Fatalf("count = %d", acc.Count)
+	}
+	approx(t, "mean", acc.Mean, 0.93)
+	approx(t, "min", acc.Min, 0.90)
+	approx(t, "max", acc.Max, 0.96)
+	approx(t, "last", acc.Last, 0.96)
+	approx(t, "p50", acc.P50, 0.92) // nearest-rank on 4 samples
+	approx(t, "p95", acc.P95, 0.96)
+	// EWMA(0.3) over 0.90,0.92,0.94,0.96 leans toward the recent runs but
+	// trails Last.
+	ewma := 0.90
+	for _, v := range vals[1:] {
+		ewma = EWMAAlpha*v + (1-EWMAAlpha)*ewma
+	}
+	approx(t, "ewma", acc.EWMA, ewma)
+	if acc.EWMA >= acc.Last || acc.EWMA <= acc.Min {
+		t.Fatalf("EWMA %v should trail last %v but exceed min %v on a rising series",
+			acc.EWMA, acc.Last, acc.Min)
+	}
+
+	// Stage durations and the wall clock are aggregated under their dotted
+	// names so reports can show the full trajectory.
+	if _, ok := byName["stage.attack_seconds"]; !ok {
+		t.Fatalf("stage aggregate missing: %+v", aggs)
+	}
+	if _, ok := byName["elapsed_seconds"]; !ok {
+		t.Fatalf("elapsed aggregate missing: %+v", aggs)
+	}
+
+	// Names are sorted for deterministic rendering.
+	for i := 1; i < len(aggs); i++ {
+		if aggs[i].Metric < aggs[i-1].Metric {
+			t.Fatalf("aggregates not sorted: %+v", aggs)
+		}
+	}
+	if got := AggregateRecords(nil); len(got) != 0 {
+		t.Fatalf("empty input produced %+v", got)
+	}
+}
+
+func TestStoreAggregateWindows(t *testing.T) {
+	s, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		acc := 0.5
+		if i >= 5 {
+			acc = 1.0 // the newest half is perfect
+		}
+		if _, err := s.Append(RunRecord{Kind: "attack",
+			Metrics: map[string]float64{"value_accuracy": acc}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := s.Aggregate("attack", "", 0)
+	if all.Runs != 10 {
+		t.Fatalf("runs = %d", all.Runs)
+	}
+	recent := s.Aggregate("attack", "", 5)
+	if recent.Runs != 5 {
+		t.Fatalf("windowed runs = %d", recent.Runs)
+	}
+	var allMean, recentMean float64
+	for _, m := range all.Metrics {
+		if m.Metric == "value_accuracy" {
+			allMean = m.Mean
+		}
+	}
+	for _, m := range recent.Metrics {
+		if m.Metric == "value_accuracy" {
+			recentMean = m.Mean
+		}
+	}
+	approx(t, "all mean", allMean, 0.75)
+	approx(t, "recent mean", recentMean, 1.0)
+	if none := s.Aggregate("diagnose", "", 0); none.Runs != 0 || len(none.Metrics) != 0 {
+		t.Fatalf("unknown kind aggregated: %+v", none)
+	}
+}

@@ -484,6 +484,22 @@ func LabelKey(name, label, value string) string {
 	return name + "{" + label + "=" + quoteLabel(value) + "}"
 }
 
+// LabelKeys renders a metric key with any number of label pairs:
+// LabelKeys("m", "kind", "attack", "metric", "value_accuracy") →
+// `m{kind="attack",metric="value_accuracy"}`. Pairs are rendered in the
+// given order — callers must pass a fixed order so the same label set
+// always maps to the same series. A trailing odd argument is ignored.
+func LabelKeys(name string, labelValuePairs ...string) string {
+	out := name + "{"
+	for i := 0; i+1 < len(labelValuePairs); i += 2 {
+		if i > 0 {
+			out += ","
+		}
+		out += labelValuePairs[i] + "=" + quoteLabel(labelValuePairs[i+1])
+	}
+	return out + "}"
+}
+
 // quoteLabel renders a label value per the Prometheus text exposition
 // escaping rules (backslash, double quote, newline).
 func quoteLabel(v string) string {

@@ -1,0 +1,329 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime/metrics"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Runtime-telemetry metric families exported by the Profiler (gauges
+// refreshed on every capture cycle).
+const (
+	MetricRuntimeGoroutines  = "reveal_runtime_goroutines"
+	MetricRuntimeHeapBytes   = "reveal_runtime_heap_bytes"
+	MetricRuntimeGCPauseP50  = "reveal_runtime_gc_pause_p50_seconds"
+	MetricRuntimeGCPauseMax  = "reveal_runtime_gc_pause_max_seconds"
+	MetricRuntimeSchedLatP50 = "reveal_runtime_sched_latency_p50_seconds"
+	MetricRuntimeSchedLatP99 = "reveal_runtime_sched_latency_p99_seconds"
+	MetricRuntimeGCCycles    = "reveal_runtime_gc_cycles_total"
+	// MetricProfilesCaptured counts completed CPU+heap capture cycles.
+	MetricProfilesCaptured = "reveal_profiles_captured_total"
+)
+
+// ProfilerOptions configures the continuous-profiling sidecar.
+type ProfilerOptions struct {
+	// Dir receives the pprof files (cpu-NNNNNN.pprof / heap-NNNNNN.pprof);
+	// created when missing. Required.
+	Dir string
+	// Interval is the capture period for the Start loop (default 5m).
+	Interval time.Duration
+	// CPUDuration is how long each CPU profile samples (default 1s; capped
+	// to Interval/2 so consecutive cycles never overlap).
+	CPUDuration time.Duration
+	// MaxProfiles bounds how many profiles of each type are retained; the
+	// oldest are deleted past the cap (default 8).
+	MaxProfiles int
+	// Registry receives the runtime metric families (nil uses the global
+	// recorder's registry at sample time).
+	Registry *Registry
+}
+
+// Profiler is the continuous-profiling sidecar: on every cycle it refreshes
+// the reveal_runtime_* gauges from runtime/metrics and captures one CPU and
+// one heap pprof profile into Dir under a retention cap. A capture that
+// loses the CPU-profiler race (e.g. an operator hitting /debug/pprof/profile
+// at the same moment) skips the CPU file for that cycle instead of failing.
+type Profiler struct {
+	opts ProfilerOptions
+
+	mu  sync.Mutex
+	seq int
+
+	startOnce sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewProfiler validates the options and prepares the profile directory.
+// Call Start for the periodic loop, or CollectOnce to drive cycles
+// manually (tests, one-shot captures).
+func NewProfiler(opts ProfilerOptions) (*Profiler, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("obs: ProfilerOptions.Dir is required")
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = 5 * time.Minute
+	}
+	if opts.CPUDuration <= 0 {
+		opts.CPUDuration = time.Second
+	}
+	if opts.CPUDuration > opts.Interval/2 {
+		opts.CPUDuration = opts.Interval / 2
+	}
+	if opts.MaxProfiles <= 0 {
+		opts.MaxProfiles = 8
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: creating profile dir: %w", err)
+	}
+	p := &Profiler{
+		opts: opts,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	// Resume the sequence after the newest existing profile so restarts
+	// never overwrite retained files.
+	entries, err := os.ReadDir(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		var n int
+		name := e.Name()
+		if _, err := fmt.Sscanf(name, "cpu-%d.pprof", &n); err == nil && n > p.seq {
+			p.seq = n
+		}
+		if _, err := fmt.Sscanf(name, "heap-%d.pprof", &n); err == nil && n > p.seq {
+			p.seq = n
+		}
+	}
+	return p, nil
+}
+
+// Start launches the periodic capture loop (at most once).
+func (p *Profiler) Start() {
+	p.startOnce.Do(func() {
+		go func() {
+			defer close(p.done)
+			ticker := time.NewTicker(p.opts.Interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					if _, _, err := p.CollectOnce(); err != nil {
+						Log().Warn("profile capture failed", "error", err)
+					}
+				case <-p.stop:
+					return
+				}
+			}
+		}()
+	})
+}
+
+// Close stops the capture loop. Safe to call without Start.
+func (p *Profiler) Close() {
+	select {
+	case <-p.stop:
+	default:
+		close(p.stop)
+	}
+	p.startOnce.Do(func() { close(p.done) })
+	<-p.done
+}
+
+// CollectOnce runs one capture cycle: refresh the runtime gauges, write one
+// heap profile, sample one CPU profile, and prune past the retention cap.
+// It returns the written file paths; cpuPath is empty when the CPU profiler
+// was already claimed elsewhere.
+func (p *Profiler) CollectOnce() (cpuPath, heapPath string, err error) {
+	p.SampleRuntimeMetrics()
+
+	p.mu.Lock()
+	p.seq++
+	seq := p.seq
+	p.mu.Unlock()
+
+	heapPath = filepath.Join(p.opts.Dir, fmt.Sprintf("heap-%06d.pprof", seq))
+	hf, err := os.Create(heapPath)
+	if err != nil {
+		return "", "", fmt.Errorf("obs: creating heap profile: %w", err)
+	}
+	werr := pprof.WriteHeapProfile(hf)
+	if cerr := hf.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return "", "", fmt.Errorf("obs: writing heap profile: %w", werr)
+	}
+
+	cpuPath = filepath.Join(p.opts.Dir, fmt.Sprintf("cpu-%06d.pprof", seq))
+	cf, err := os.Create(cpuPath)
+	if err != nil {
+		return "", heapPath, fmt.Errorf("obs: creating cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(cf); err != nil {
+		// Someone else (e.g. /debug/pprof/profile) holds the CPU profiler;
+		// skip this cycle's CPU file rather than failing the loop.
+		cf.Close()
+		_ = os.Remove(cpuPath)
+		cpuPath = ""
+	} else {
+		time.Sleep(p.opts.CPUDuration)
+		pprof.StopCPUProfile()
+		if err := cf.Close(); err != nil {
+			return "", heapPath, fmt.Errorf("obs: closing cpu profile: %w", err)
+		}
+	}
+
+	p.prune()
+	p.registry().Counter(MetricProfilesCaptured).Inc()
+	return cpuPath, heapPath, nil
+}
+
+func (p *Profiler) registry() *Registry {
+	if p.opts.Registry != nil {
+		return p.opts.Registry
+	}
+	return Global().Registry()
+}
+
+// prune deletes the oldest profiles of each type past MaxProfiles.
+func (p *Profiler) prune() {
+	entries, err := os.ReadDir(p.opts.Dir)
+	if err != nil {
+		return
+	}
+	byType := map[string][]string{}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".pprof") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(name, "cpu-"):
+			byType["cpu"] = append(byType["cpu"], name)
+		case strings.HasPrefix(name, "heap-"):
+			byType["heap"] = append(byType["heap"], name)
+		}
+	}
+	for _, names := range byType {
+		sort.Strings(names)
+		for len(names) > p.opts.MaxProfiles {
+			_ = os.Remove(filepath.Join(p.opts.Dir, names[0]))
+			names = names[1:]
+		}
+	}
+}
+
+// runtimeSampleNames are the runtime/metrics series the sidecar exports.
+// All of them exist on every Go release the module supports; unknown names
+// degrade to KindBad samples that are simply skipped.
+var runtimeSampleNames = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+}
+
+// SampleRuntimeMetrics refreshes the reveal_runtime_* gauges from the
+// runtime/metrics package: goroutine count, live heap bytes, GC cycle
+// count, and the GC-pause / scheduler-latency distributions condensed to
+// p50/p99/max.
+func (p *Profiler) SampleRuntimeMetrics() {
+	samples := make([]metrics.Sample, len(runtimeSampleNames))
+	for i, name := range runtimeSampleNames {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+	reg := p.registry()
+	for _, s := range samples {
+		switch s.Name {
+		case "/sched/goroutines:goroutines":
+			if s.Value.Kind() == metrics.KindUint64 {
+				reg.Gauge(MetricRuntimeGoroutines).Set(float64(s.Value.Uint64()))
+			}
+		case "/memory/classes/heap/objects:bytes":
+			if s.Value.Kind() == metrics.KindUint64 {
+				reg.Gauge(MetricRuntimeHeapBytes).Set(float64(s.Value.Uint64()))
+			}
+		case "/gc/cycles/total:gc-cycles":
+			if s.Value.Kind() == metrics.KindUint64 {
+				reg.Gauge(MetricRuntimeGCCycles).Set(float64(s.Value.Uint64()))
+			}
+		case "/gc/pauses:seconds":
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				h := s.Value.Float64Histogram()
+				reg.Gauge(MetricRuntimeGCPauseP50).Set(histQuantile(h, 0.50))
+				reg.Gauge(MetricRuntimeGCPauseMax).Set(histMax(h))
+			}
+		case "/sched/latencies:seconds":
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				h := s.Value.Float64Histogram()
+				reg.Gauge(MetricRuntimeSchedLatP50).Set(histQuantile(h, 0.50))
+				reg.Gauge(MetricRuntimeSchedLatP99).Set(histQuantile(h, 0.99))
+			}
+		}
+	}
+}
+
+// histQuantile reads an approximate quantile from a runtime/metrics
+// histogram: the midpoint of the bucket holding the q-th observation.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target >= total {
+		target = total - 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if c > 0 && cum > target {
+			return bucketMid(h, i)
+		}
+	}
+	return bucketMid(h, len(h.Counts)-1)
+}
+
+// histMax returns the upper edge of the highest non-empty bucket.
+func histMax(h *metrics.Float64Histogram) float64 {
+	if h == nil {
+		return 0
+	}
+	for i := len(h.Counts) - 1; i >= 0; i-- {
+		if h.Counts[i] > 0 {
+			return bucketMid(h, i)
+		}
+	}
+	return 0
+}
+
+// bucketMid is the midpoint of bucket i, clamping the ±Inf edge buckets to
+// their finite side.
+func bucketMid(h *metrics.Float64Histogram, i int) float64 {
+	lo, hi := h.Buckets[i], h.Buckets[i+1]
+	if math.IsInf(lo, -1) {
+		lo = hi
+	}
+	if math.IsInf(hi, 1) {
+		hi = lo
+	}
+	return (lo + hi) / 2
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 	"time"
 
@@ -147,6 +148,41 @@ func (c *Client) Events(ctx context.Context, since int64, max int, wait time.Dur
 		path += "&wait=" + wait.String()
 	}
 	var resp obs.EventsResponse
+	err := c.do(ctx, http.MethodGet, path, nil, &resp)
+	return resp, err
+}
+
+// History fetches one page of quality-history records. Pass the previous
+// response's NextAfter as after to continue; kind/tenant filter, limit
+// bounds the page (0 = server default).
+func (c *Client) History(ctx context.Context, kind, tenant string, after int64, limit int) (HistoryResponse, error) {
+	path := fmt.Sprintf("/api/v1/history?after=%d", after)
+	if kind != "" {
+		path += "&kind=" + url.QueryEscape(kind)
+	}
+	if tenant != "" {
+		path += "&tenant=" + url.QueryEscape(tenant)
+	}
+	if limit > 0 {
+		path += fmt.Sprintf("&limit=%d", limit)
+	}
+	var resp HistoryResponse
+	err := c.do(ctx, http.MethodGet, path, nil, &resp)
+	return resp, err
+}
+
+// HistoryAggregate fetches the per-kind quality rollups (count, mean,
+// quantiles, EWMA per metric) plus the watchdog baselines. A positive
+// window restricts the rollup to the newest window records per kind.
+func (c *Client) HistoryAggregate(ctx context.Context, kind, tenant string, window int) (HistoryAggregateResponse, error) {
+	path := fmt.Sprintf("/api/v1/history/aggregate?window=%d", window)
+	if kind != "" {
+		path += "&kind=" + url.QueryEscape(kind)
+	}
+	if tenant != "" {
+		path += "&tenant=" + url.QueryEscape(tenant)
+	}
+	var resp HistoryAggregateResponse
 	err := c.do(ctx, http.MethodGet, path, nil, &resp)
 	return resp, err
 }

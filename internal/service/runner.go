@@ -14,6 +14,7 @@ import (
 	"reveal/internal/core"
 	"reveal/internal/jobs"
 	"reveal/internal/obs"
+	"reveal/internal/obs/history"
 	"reveal/internal/sampler"
 	"reveal/internal/sca"
 )
@@ -30,6 +31,13 @@ type Runner struct {
 	// DataDir, when non-empty, receives one run directory per job
 	// (<DataDir>/<jobID>/manifest.json) with the campaign manifest.
 	DataDir string
+	// History, when non-nil, receives one compact RunRecord per completed
+	// job — the persistent quality trajectory behind /api/v1/history.
+	History *history.Store
+	// Watchdog, when non-nil, observes every appended record and raises
+	// quality_drift events when rolling aggregates fall past the pinned
+	// baselines.
+	Watchdog *history.Watchdog
 }
 
 // RunSummary is the outcome of one attacked encryption.
@@ -43,17 +51,29 @@ type RunSummary struct {
 
 // AttackCampaignResult is the result payload of an "attack" campaign.
 type AttackCampaignResult struct {
-	Kind         string       `json:"kind"`
-	Seed         uint64       `json:"seed"`
-	TemplateKey  string       `json:"template_key"`
-	CacheHit     bool         `json:"cache_hit"`
-	Workers      int          `json:"workers"`
-	Encryptions  int          `json:"encryptions"`
-	Coefficients int          `json:"coefficients"`
-	ValueAcc     float64      `json:"value_acc"`
-	SignAcc      float64      `json:"sign_acc"`
-	ZeroAcc      float64      `json:"zero_acc"`
-	Runs         []RunSummary `json:"runs"`
+	Kind         string  `json:"kind"`
+	Seed         uint64  `json:"seed"`
+	TemplateKey  string  `json:"template_key"`
+	CacheHit     bool    `json:"cache_hit"`
+	Workers      int     `json:"workers"`
+	Encryptions  int     `json:"encryptions"`
+	Coefficients int     `json:"coefficients"`
+	ValueAcc     float64 `json:"value_acc"`
+	SignAcc      float64 `json:"sign_acc"`
+	ZeroAcc      float64 `json:"zero_acc"`
+	// MeanMargin is the mean posterior margin P(top1) − P(top2) across
+	// every classified coefficient — the attack's confidence, which drops
+	// before the accuracy itself does.
+	MeanMargin float64 `json:"mean_margin"`
+	// ProfileSeconds / AttackSeconds split the campaign wall clock into
+	// template resolution (zero on a cache hit) and trace classification.
+	ProfileSeconds float64      `json:"profile_seconds"`
+	AttackSeconds  float64      `json:"attack_seconds"`
+	Runs           []RunSummary `json:"runs"`
+	// BaselineBikz / HintedBikz carry the DBDD security-loss estimate of
+	// the last encryption's hints when the spec set estimate_bikz.
+	BaselineBikz float64 `json:"bikz_baseline,omitempty"`
+	HintedBikz   float64 `json:"bikz_with_hints,omitempty"`
 	// LastProbs holds the per-coefficient posterior of the last
 	// encryption's e2 polynomial when the spec asked for it.
 	LastProbs []map[int]float64 `json:"last_probs,omitempty"`
@@ -109,7 +129,102 @@ func (r *Runner) Run(ctx context.Context, job *jobs.Job) (any, error) {
 	if werr := r.writeJobArtifacts(job, spec, result, start); werr != nil {
 		lg.Warn("job artifacts not fully written", "error", werr)
 	}
+	r.record(lg, job, spec, result, start)
 	return result, nil
+}
+
+// record appends the job's compact quality summary to the history store
+// and feeds the drift watchdog. Recording is best-effort: a full disk must
+// not fail a job whose scientific result is already in hand.
+func (r *Runner) record(lg *slog.Logger, job *jobs.Job, spec *CampaignSpec, result any, start time.Time) {
+	if r.History == nil && r.Watchdog == nil {
+		return
+	}
+	rec := history.RunRecord{
+		JobID:          job.ID,
+		TraceID:        job.TraceID,
+		Kind:           spec.Kind,
+		Tenant:         job.Tenant,
+		Seed:           spec.Seed,
+		ElapsedSeconds: time.Since(start).Seconds(),
+		Stages:         map[string]float64{},
+		Metrics:        map[string]float64{},
+	}
+	if !job.FirstClaimedAt.IsZero() && job.FirstClaimedAt.After(job.SubmittedAt) {
+		rec.Stages["queue_wait_seconds"] = job.FirstClaimedAt.Sub(job.SubmittedAt).Seconds()
+	}
+	switch res := result.(type) {
+	case *AttackCampaignResult:
+		rec.Metrics["value_accuracy"] = res.ValueAcc
+		rec.Metrics["sign_accuracy"] = res.SignAcc
+		rec.Metrics["zero_accuracy"] = res.ZeroAcc
+		rec.Metrics["mean_margin"] = res.MeanMargin
+		if res.HintedBikz > 0 {
+			rec.Metrics["hinted_bikz"] = res.HintedBikz
+		}
+		rec.Stages["profile_seconds"] = res.ProfileSeconds
+		rec.Stages["attack_seconds"] = res.AttackSeconds
+	case *DiagnoseCampaignResult:
+		if rep := res.Report; rep != nil {
+			var snrMax, tvlaMax float64
+			for _, set := range rep.Sets {
+				if set.SNR.Max > snrMax {
+					snrMax = set.SNR.Max
+				}
+				for _, tt := range set.TTests {
+					if tt.Summary.Max > tvlaMax {
+						tvlaMax = tt.Summary.Max
+					}
+				}
+			}
+			rec.Metrics["snr_max"] = snrMax
+			rec.Metrics["tvla_max"] = tvlaMax
+			if rep.TotalPairs > 0 {
+				rec.Metrics["leaky_pair_ratio"] = float64(rep.LeakyPairs) / float64(rep.TotalPairs)
+			}
+			if rep.Healthy {
+				rec.Metrics["template_health"] = 1
+			} else {
+				rec.Metrics["template_health"] = 0
+			}
+		}
+	}
+	if r.History != nil {
+		stamped, err := r.History.Append(rec)
+		if err != nil {
+			lg.Warn("history record not persisted", "error", err)
+		} else {
+			rec = stamped
+		}
+	}
+	if alerts := r.Watchdog.Observe(rec); len(alerts) > 0 {
+		for _, a := range alerts {
+			lg.Warn("quality drift detected", "kind", a.Kind, "metric", a.Metric,
+				"baseline", a.Baseline, "current", a.Current,
+				"rel_delta", a.RelDelta, "tolerance", a.Tolerance)
+		}
+	}
+}
+
+// sumTopMargins accumulates the top1−top2 posterior margin over every
+// coefficient's probability table.
+func sumTopMargins(probs []map[int]float64) (sum float64, n int) {
+	for _, table := range probs {
+		if len(table) == 0 {
+			continue
+		}
+		var top1, top2 float64
+		for _, p := range table {
+			if p > top1 {
+				top1, top2 = p, top1
+			} else if p > top2 {
+				top2 = p
+			}
+		}
+		sum += top1 - top2
+		n++
+	}
+	return sum, n
 }
 
 // jobLogger builds the job-scoped logger: the global stream teed with the
@@ -182,6 +297,7 @@ func (r *Runner) runAttack(ctx context.Context, spec *CampaignSpec) (*AttackCamp
 	if err != nil {
 		return nil, err
 	}
+	profileElapsed := time.Since(start)
 	var attackDev *core.Device
 	if spec.LowNoise {
 		attackDev = core.NewLowNoiseDevice(spec.Seed ^ attackDeviceSalt)
@@ -201,6 +317,9 @@ func (r *Runner) runAttack(ctx context.Context, spec *CampaignSpec) (*AttackCamp
 		Workers: workers, Encryptions: spec.Encryptions,
 	}
 	valOK, signOK, zeroOK, zeroTotal, total := 0, 0, 0, 0, 0
+	var marginSum float64
+	marginN := 0
+	var lastOutcome *core.AttackOutcome
 	for run := 0; run < spec.Encryptions; run++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("service: campaign canceled at encryption %d/%d: %w",
@@ -246,7 +365,13 @@ func (r *Runner) runAttack(ctx context.Context, spec *CampaignSpec) (*AttackCamp
 		}
 		score(out.E1, cap.Truth.E1)
 		score(out.E2, cap.Truth.E2)
+		for _, probs := range [][]map[int]float64{out.E1.Probs, out.E2.Probs} {
+			s, n := sumTopMargins(probs)
+			marginSum += s
+			marginN += n
+		}
 		core.EmitOutcomeEventsCtx(ctx, out, cap)
+		lastOutcome = out
 		if spec.KeepProbs && run == spec.Encryptions-1 {
 			res.LastProbs = out.E2.Probs
 		}
@@ -259,6 +384,19 @@ func (r *Runner) runAttack(ctx context.Context, spec *CampaignSpec) (*AttackCamp
 	if zeroTotal > 0 {
 		res.ZeroAcc = float64(zeroOK) / float64(zeroTotal)
 	}
+	if marginN > 0 {
+		res.MeanMargin = marginSum / float64(marginN)
+	}
+	if spec.EstimateBikz && lastOutcome != nil {
+		loss, err := core.EstimateFullHints(params, lastOutcome.E2)
+		if err != nil {
+			return nil, fmt.Errorf("service: estimating hinted security: %w", err)
+		}
+		res.BaselineBikz = loss.BaselineBikz
+		res.HintedBikz = loss.HintedBikz
+	}
+	res.ProfileSeconds = profileElapsed.Seconds()
+	res.AttackSeconds = time.Since(start).Seconds() - res.ProfileSeconds
 	res.ElapsedMS = time.Since(start).Milliseconds()
 	obs.LogCtx(ctx).Info("attack campaign finished",
 		"seed", spec.Seed, "encryptions", spec.Encryptions,

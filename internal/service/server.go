@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"reveal/internal/core"
 	"reveal/internal/jobs"
 	"reveal/internal/obs"
+	"reveal/internal/obs/history"
 )
 
 // Config assembles a Server.
@@ -26,17 +28,25 @@ type Config struct {
 	CacheCapacity int
 	// DataDir, when set, receives per-job run directories with manifests.
 	DataDir string
+	// History, when set, persists one quality RunRecord per completed job
+	// and backs the /api/v1/history endpoints.
+	History *history.Store
+	// Watchdog, when set (requires History to be useful), watches the
+	// recorded quality trajectory for drift against pinned baselines.
+	Watchdog *history.Watchdog
 }
 
 // Server is the campaign service: the queue, the worker pool, the template
-// cache, and the HTTP API over them.
+// cache, the quality-history store, and the HTTP API over them.
 type Server struct {
-	queue   *jobs.Queue
-	pool    *jobs.Pool
-	cache   *core.TemplateCache
-	runner  *Runner
-	mux     *http.ServeMux
-	started time.Time
+	queue    *jobs.Queue
+	pool     *jobs.Pool
+	cache    *core.TemplateCache
+	runner   *Runner
+	history  *history.Store
+	watchdog *history.Watchdog
+	mux      *http.ServeMux
+	started  time.Time
 }
 
 // New assembles a Server. Call Start to launch the workers.
@@ -51,11 +61,14 @@ func New(cfg Config) *Server {
 		cfg.CacheCapacity = 4
 	}
 	s := &Server{
-		queue:   jobs.NewQueue(cfg.QueueOptions),
-		cache:   core.NewTemplateCache(cfg.CacheCapacity),
-		started: time.Now(),
+		queue:    jobs.NewQueue(cfg.QueueOptions),
+		cache:    core.NewTemplateCache(cfg.CacheCapacity),
+		history:  cfg.History,
+		watchdog: cfg.Watchdog,
+		started:  time.Now(),
 	}
-	s.runner = &Runner{Cache: s.cache, Workers: cfg.ClassifyWorkers, DataDir: cfg.DataDir}
+	s.runner = &Runner{Cache: s.cache, Workers: cfg.ClassifyWorkers, DataDir: cfg.DataDir,
+		History: cfg.History, Watchdog: cfg.Watchdog}
 	s.pool = jobs.NewPool(s.queue, cfg.PoolWorkers, s.runner.Run)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /api/v1/campaigns", s.handleSubmit)
@@ -64,6 +77,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /api/v1/campaigns/{id}/result", s.handleResult)
 	s.mux.HandleFunc("DELETE /api/v1/campaigns/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /api/v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /api/v1/history", s.handleHistory)
+	s.mux.HandleFunc("GET /api/v1/history/aggregate", s.handleHistoryAggregate)
 	return s
 }
 
@@ -92,6 +107,10 @@ func RouteLabel(r *http.Request) string {
 		return "/api/v1/campaigns"
 	case p == "/api/v1/stats":
 		return "/api/v1/stats"
+	case p == "/api/v1/history":
+		return "/api/v1/history"
+	case p == "/api/v1/history/aggregate":
+		return "/api/v1/history/aggregate"
 	case strings.HasPrefix(p, "/api/v1/campaigns/"):
 		if strings.HasSuffix(p, "/result") {
 			return "/api/v1/campaigns/{id}/result"
@@ -218,6 +237,111 @@ type StatsResponse struct {
 	// keyed by job kind.
 	QueueWait      map[string]obs.HistogramSnapshot `json:"queue_wait,omitempty"`
 	AttemptLatency map[string]obs.HistogramSnapshot `json:"attempt_latency,omitempty"`
+}
+
+// HistoryResponse is the GET /api/v1/history payload: a page of quality
+// records (oldest first) plus the cursor for the next page.
+type HistoryResponse struct {
+	Records []history.RunRecord `json:"records"`
+	// NextAfter is the cursor for the next page: pass it back as ?after=.
+	// Zero when this page exhausts the match set.
+	NextAfter int64 `json:"next_after,omitempty"`
+	// Total counts every stored record matching the filter, ignoring the
+	// cursor and the page limit.
+	Total int `json:"total"`
+}
+
+// handleHistory serves GET /api/v1/history?kind=&tenant=&after=&limit=.
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	if s.history == nil {
+		writeError(w, http.StatusServiceUnavailable, "history store disabled (start reveald with -data-dir)")
+		return
+	}
+	q := history.Query{
+		Kind:   r.URL.Query().Get("kind"),
+		Tenant: r.URL.Query().Get("tenant"),
+	}
+	var err error
+	if q.AfterSeq, err = parseInt64Param(r, "after"); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	limit, err := parseInt64Param(r, "limit")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	q.Limit = int(limit)
+	res := s.history.Query(q)
+	next := res.NextAfter
+	if len(res.Records) == 0 {
+		next = 0
+	} else {
+		// Peek one record past the page: a cursor is only returned when
+		// another page exists, so clients can loop until next_after == 0.
+		peek := q
+		peek.AfterSeq, peek.Limit = next, 1
+		if len(s.history.Query(peek).Records) == 0 {
+			next = 0
+		}
+	}
+	writeJSON(w, http.StatusOK, HistoryResponse{
+		Records: res.Records, NextAfter: next, Total: res.Total,
+	})
+}
+
+// HistoryAggregateResponse is the GET /api/v1/history/aggregate payload:
+// per-kind rollups plus the watchdog's pinned baselines (when a watchdog
+// is running).
+type HistoryAggregateResponse struct {
+	Aggregates []history.KindAggregate       `json:"aggregates"`
+	Baselines  map[string]map[string]float64 `json:"baselines,omitempty"`
+}
+
+// handleHistoryAggregate serves GET /api/v1/history/aggregate?kind=&tenant=&window=.
+func (s *Server) handleHistoryAggregate(w http.ResponseWriter, r *http.Request) {
+	if s.history == nil {
+		writeError(w, http.StatusServiceUnavailable, "history store disabled (start reveald with -data-dir)")
+		return
+	}
+	window, err := parseInt64Param(r, "window")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	kind := r.URL.Query().Get("kind")
+	tenant := r.URL.Query().Get("tenant")
+	var kinds []string
+	if kind != "" {
+		kinds = []string{kind}
+	} else {
+		kinds = s.history.Kinds()
+	}
+	resp := HistoryAggregateResponse{Aggregates: []history.KindAggregate{}}
+	for _, k := range kinds {
+		agg := s.history.Aggregate(k, tenant, int(window))
+		if agg.Runs > 0 {
+			resp.Aggregates = append(resp.Aggregates, agg)
+		}
+	}
+	if s.watchdog != nil {
+		resp.Baselines = s.watchdog.Baselines()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// parseInt64Param reads a non-negative integer query parameter, treating an
+// absent or empty value as zero.
+func parseInt64Param(r *http.Request, name string) (int64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("invalid %s parameter %q", name, raw)
+	}
+	return v, nil
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
