@@ -10,8 +10,9 @@
 //	revealctl profile [-o FILE] [-seed S]
 //	revealctl diagnose [-seed S] [-traces N] [-curves] [-json]
 //	revealctl compare [-tol T] [-metric-tol name=T] [-gate-perf] OLD NEW
-//	revealctl submit [-addr URL] [-spec FILE | -kind K -seed S ...] [-tenant T] [-wait]
-//	revealctl status [-addr URL] [-id ID] [-result] [-json]
+//	revealctl submit [-addr URL] [-spec FILE | -kind K -seed S ...] [-tenant T] [-wait] [-retry N]
+//	revealctl status [-addr URL] [-id ID] [-result] [-json] [-retry N]
+//	revealctl loadgen [-addr URL] [-tenants N] [-jobs N] [-kinds K,K] [-o FILE]
 //	revealctl top [-addr URL] [-interval DUR] [-n N]
 //	revealctl report [-addr URL] [-kind K] [-tenant T] [-window N] [-format F] [-o FILE]
 //	revealctl selftest [-seed S] [-workers N] [-json] [-q]
@@ -59,6 +60,8 @@ func main() {
 		err = runSubmit(os.Args[2:])
 	case "status":
 		err = runStatus(os.Args[2:])
+	case "loadgen":
+		err = runLoadgen(os.Args[2:])
 	case "top":
 		err = runTop(os.Args[2:])
 	case "report":
@@ -87,6 +90,7 @@ commands:
   compare  diff two manifest.json/BENCH_*.json files; exit 1 on regression
   submit   post a campaign spec to a running reveald daemon
   status   list a reveald daemon's jobs or show one job's status/result
+  loadgen  drive a synthetic campaign load and report jobs/sec + latency quantiles
   top      live terminal dashboard over a running reveald (queue, workers, quality, events)
   report   quality-trajectory report (markdown/CSV) from a reveald history store
   selftest replay-determinism gate: serial vs parallel attack, digest printed

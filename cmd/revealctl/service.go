@@ -16,10 +16,12 @@ import (
 // submitConfig is the fully parsed input of one submit invocation: the
 // normalized campaign spec plus the delivery options.
 type submitConfig struct {
-	Addr string
-	Spec service.CampaignSpec
-	Wait bool
-	Poll time.Duration
+	Addr      string
+	Spec      service.CampaignSpec
+	Wait      bool
+	Poll      time.Duration
+	Retry     int
+	RetryBase time.Duration
 }
 
 // parseSubmitArgs turns the submit argument list into a normalized
@@ -43,6 +45,8 @@ func parseSubmitArgs(args []string, stdin io.Reader, stderr io.Writer) (*submitC
 	tenant := fs.String("tenant", "", "tenant identity recorded on the job (per-tenant metrics)")
 	fs.BoolVar(&cfg.Wait, "wait", false, "poll until the campaign finishes and print its result")
 	fs.DurationVar(&cfg.Poll, "poll", 500*time.Millisecond, "poll interval with -wait")
+	fs.IntVar(&cfg.Retry, "retry", 3, "transient connection-error retries with exponential backoff (0 = fail fast)")
+	fs.DurationVar(&cfg.RetryBase, "retry-base", 200*time.Millisecond, "first retry delay (doubles per attempt, capped at 5s)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -91,6 +95,8 @@ func runSubmit(args []string) error {
 
 	ctx := context.Background()
 	client := service.NewClient(cfg.Addr)
+	client.RetryAttempts = cfg.Retry
+	client.RetryBase = cfg.RetryBase
 	st, err := client.Submit(ctx, &spec)
 	if err != nil {
 		return err
@@ -130,11 +136,13 @@ func runStatus(args []string) error {
 	id := fs.String("id", "", "campaign id (empty = list all jobs)")
 	result := fs.Bool("result", false, "also fetch and print the result (requires -id)")
 	jsonOut := fs.Bool("json", false, "print raw JSON")
+	retry := fs.Int("retry", 3, "transient connection-error retries with exponential backoff (0 = fail fast)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	ctx := context.Background()
 	client := service.NewClient(*addr)
+	client.RetryAttempts = *retry
 
 	if *id == "" {
 		list, err := client.List(ctx)

@@ -7,11 +7,33 @@
 //
 // Usage:
 //
-//	reveald [-addr :9090] [-workers N] [-classify-workers N] [-queue N]
-//	        [-cache N] [-retries N] [-backoff DUR] [-data-dir DIR]
+//	reveald [-role all|coordinator|worker] [-addr :9090] [-workers N]
+//	        [-classify-workers N] [-queue N] [-cache N] [-retries N]
+//	        [-backoff DUR] [-data-dir DIR] [-tenant-quota N]
+//	        [-lease-ttl DUR] [-snapshot-interval DUR]
+//	        [-coordinator URL] [-worker-id ID]
 //	        [-drift-window N] [-drift-min-runs N] [-drift-tol F]
 //	        [-profile-interval DUR] [-profile-cpu DUR]
 //	        [-drain-timeout DUR] [-log-level LEVEL] [-log-json] [-selftest]
+//
+// Roles (the distributed campaign fabric):
+//
+//	all          single process: API, queue, and in-process execution
+//	             (the default — identical to the pre-fabric daemon)
+//	coordinator  serve the API and the fabric endpoints but execute
+//	             nothing locally; jobs wait for workers to lease them
+//	worker       no API: lease jobs from -coordinator over HTTP, execute
+//	             them on -workers slots, heartbeat each lease at a third
+//	             of -lease-ttl, and report results back. Templates resolve
+//	             through the coordinator's content-addressed registry
+//	             (local LRU first), so one node trains per configuration.
+//
+// With -data-dir, coordinator roles journal every job-lifecycle transition
+// to an append-only WAL under <data-dir>/wal and snapshot it every
+// -snapshot-interval; on restart the queue replays the journal, keeps
+// finished jobs for status queries, and re-enqueues everything accepted
+// but unfinished — a crash loses no accepted job. -tenant-quota bounds
+// queued+running jobs per tenant (rejections are HTTP 429 + Retry-After).
 //
 // With -selftest the daemon first runs the replay-determinism gate
 // (internal/core.Selftest) and refuses to serve if the serial and parallel
@@ -27,6 +49,11 @@
 //	GET    /api/v1/stats                 queue/worker stats, per-kind latency
 //	GET    /api/v1/history               quality-history records (paginated)
 //	GET    /api/v1/history/aggregate     per-kind quality rollups + baselines
+//	POST   /api/v1/fabric/lease          lease one job (worker long-poll)
+//	POST   /api/v1/fabric/jobs/{id}/renew     heartbeat a held lease
+//	POST   /api/v1/fabric/jobs/{id}/complete  report a leased attempt
+//	GET/PUT /api/v1/fabric/templates/{key}    template registry blobs
+//	POST/DELETE /api/v1/fabric/templates/{key}/claim  training claims
 //	/metrics /progress /healthz /readyz /events /debug/pprof  (observability)
 //
 // Every request carries a trace identity: an X-Reveal-Trace-Id header is
@@ -59,6 +86,7 @@ import (
 
 	"reveal/internal/core"
 	"reveal/internal/jobs"
+	"reveal/internal/jobs/wal"
 	"reveal/internal/obs"
 	"reveal/internal/obs/history"
 	"reveal/internal/service"
@@ -73,14 +101,20 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("reveald", flag.ExitOnError)
-	addr := fs.String("addr", ":9090", "listen address for the API and observability endpoints")
-	workers := fs.Int("workers", 2, "concurrent campaign jobs")
+	role := fs.String("role", "all", "process role: all (single process), coordinator (API only, jobs execute on workers), worker (lease jobs from -coordinator)")
+	addr := fs.String("addr", ":9090", "listen address for the API and observability endpoints (empty on a worker = no listener)")
+	coordinator := fs.String("coordinator", "http://127.0.0.1:9090", "coordinator base URL (worker role)")
+	workerID := fs.String("worker-id", "", "worker identity recorded on leases (default hostname-pid)")
+	workers := fs.Int("workers", 2, "concurrent campaign jobs (execution slots on a worker)")
 	classifyWorkers := fs.Int("classify-workers", 0, "classification goroutines per campaign (0 = GOMAXPROCS)")
 	queueCap := fs.Int("queue", 64, "maximum queued+running jobs (0 = unbounded)")
+	tenantQuota := fs.Int("tenant-quota", 0, "maximum queued+running jobs per tenant (0 = unlimited; rejections are HTTP 429)")
 	cacheCap := fs.Int("cache", 4, "template cache capacity (trained classifiers)")
 	retries := fs.Int("retries", 3, "default attempts per job")
 	backoff := fs.Duration("backoff", 500*time.Millisecond, "base retry backoff (doubles per attempt)")
-	dataDir := fs.String("data-dir", "", "write one run directory with a manifest per finished job")
+	leaseTTL := fs.Duration("lease-ttl", jobs.DefaultLeaseTTL, "fabric lease duration: a dead worker's jobs requeue after this long without a heartbeat")
+	snapshotInterval := fs.Duration("snapshot-interval", 30*time.Second, "WAL snapshot+compaction period (0 = only at shutdown; needs -data-dir)")
+	dataDir := fs.String("data-dir", "", "write the WAL, per-job run directories, events journal, and quality history here")
 	driftWindow := fs.Int("drift-window", 8, "rolling window (runs) for the quality-drift watchdog")
 	driftMinRuns := fs.Int("drift-min-runs", 4, "healthy runs required before a drift baseline is pinned")
 	driftTol := fs.Float64("drift-tol", 0.05, "relative quality degradation tolerated before a drift alert")
@@ -94,6 +128,12 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	switch *role {
+	case "all", "coordinator", "worker":
+	default:
+		return fmt.Errorf("unknown -role %q (want all, coordinator, or worker)", *role)
+	}
+	isWorker := *role == "worker"
 
 	rec := obs.New(obs.Options{
 		Logger: obs.NewLogger(obs.LogOptions{
@@ -130,34 +170,39 @@ func run(args []string) error {
 			_ = eventsFile.Close()
 		}()
 
-		histDir := filepath.Join(*dataDir, "history")
-		if err := os.MkdirAll(histDir, 0o755); err != nil {
-			return fmt.Errorf("creating history dir: %w", err)
+		// Quality history lives with the queue: workers report results to
+		// the coordinator, which records them, so a worker's data-dir only
+		// holds run directories and the events journal.
+		if !isWorker {
+			histDir := filepath.Join(*dataDir, "history")
+			if err := os.MkdirAll(histDir, 0o755); err != nil {
+				return fmt.Errorf("creating history dir: %w", err)
+			}
+			hist, err = history.Open(history.Options{Dir: histDir})
+			if err != nil {
+				return fmt.Errorf("opening history store: %w", err)
+			}
+			defer hist.Close()
+			if hist.Skipped() > 0 {
+				obs.Log().Warn("history store skipped torn records on replay",
+					"skipped", hist.Skipped())
+			}
+			watchdog, err = history.NewWatchdog(history.DriftConfig{
+				Window:       *driftWindow,
+				MinRuns:      *driftMinRuns,
+				Tolerance:    *driftTol,
+				BaselinePath: filepath.Join(histDir, "baselines.json"),
+				Registry:     rec.Registry(),
+				Emit:         obs.Emit,
+			})
+			if err != nil {
+				return fmt.Errorf("starting drift watchdog: %w", err)
+			}
+			obs.Log().Info("quality history enabled",
+				"dir", histDir, "records", hist.Len(),
+				"drift_window", *driftWindow, "drift_tol", *driftTol,
+				"baseline_kinds", watchdog.Kinds())
 		}
-		hist, err = history.Open(history.Options{Dir: histDir})
-		if err != nil {
-			return fmt.Errorf("opening history store: %w", err)
-		}
-		defer hist.Close()
-		if hist.Skipped() > 0 {
-			obs.Log().Warn("history store skipped torn records on replay",
-				"skipped", hist.Skipped())
-		}
-		watchdog, err = history.NewWatchdog(history.DriftConfig{
-			Window:       *driftWindow,
-			MinRuns:      *driftMinRuns,
-			Tolerance:    *driftTol,
-			BaselinePath: filepath.Join(histDir, "baselines.json"),
-			Registry:     rec.Registry(),
-			Emit:         obs.Emit,
-		})
-		if err != nil {
-			return fmt.Errorf("starting drift watchdog: %w", err)
-		}
-		obs.Log().Info("quality history enabled",
-			"dir", histDir, "records", hist.Len(),
-			"drift_window", *driftWindow, "drift_tol", *driftTol,
-			"baseline_kinds", watchdog.Kinds())
 
 		if *profileInterval > 0 {
 			prof, err := obs.NewProfiler(obs.ProfilerOptions{
@@ -192,20 +237,85 @@ func run(args []string) error {
 			"hinted_bikz", report.HintedBikz)
 	}
 
+	if isWorker {
+		return runWorker(rec, workerConfig{
+			Addr:            *addr,
+			Coordinator:     *coordinator,
+			WorkerID:        *workerID,
+			Slots:           *workers,
+			ClassifyWorkers: *classifyWorkers,
+			CacheCapacity:   *cacheCap,
+			DataDir:         *dataDir,
+			LeaseTTL:        *leaseTTL,
+		})
+	}
+
+	// Coordinator roles: open the WAL before the queue exists so every
+	// accepted job is journaled, and replay the previous process's tail
+	// before serving.
+	var walLog *wal.Log
+	var replay *wal.Replay
+	if *dataDir != "" {
+		var err error
+		walLog, replay, err = wal.Open(wal.Options{
+			Dir:         filepath.Join(*dataDir, "wal"),
+			SyncSubmits: true,
+		})
+		if err != nil {
+			return fmt.Errorf("opening WAL: %w", err)
+		}
+		defer walLog.Close()
+	}
+
+	poolWorkers := *workers
+	if *role == "coordinator" {
+		poolWorkers = -1 // pure coordinator: jobs execute only on fabric workers
+	}
 	svc := service.New(service.Config{
 		QueueOptions: jobs.Options{
 			MaxAttempts: *retries,
 			BackoffBase: *backoff,
 			BackoffMax:  60 * time.Second,
 			Capacity:    *queueCap,
+			TenantQuota: *tenantQuota,
+			WAL:         walLog,
 		},
-		PoolWorkers:     *workers,
+		PoolWorkers:     poolWorkers,
 		ClassifyWorkers: *classifyWorkers,
 		CacheCapacity:   *cacheCap,
 		DataDir:         *dataDir,
 		History:         hist,
 		Watchdog:        watchdog,
+		LeaseTTL:        *leaseTTL,
 	})
+	if replay != nil {
+		requeued, terminal := svc.Queue().Restore(replay, service.DecodeCampaignPayload)
+		if requeued+terminal > 0 {
+			obs.Log().Info("WAL replay complete", "requeued", requeued, "terminal", terminal)
+		}
+	}
+	snapStop := make(chan struct{})
+	snapDone := make(chan struct{})
+	if walLog != nil && *snapshotInterval > 0 {
+		go func() {
+			defer close(snapDone)
+			ticker := time.NewTicker(*snapshotInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-snapStop:
+					return
+				case <-ticker.C:
+					if err := svc.Queue().SnapshotWAL(); err != nil {
+						obs.Log().Warn("WAL snapshot failed", "error", err)
+					}
+				}
+			}
+		}()
+	} else {
+		close(snapDone)
+	}
+
 	// draining flips before the pool drains so load balancers watching
 	// /readyz stop routing while running jobs are still finishing.
 	var draining atomic.Bool
@@ -225,9 +335,10 @@ func run(args []string) error {
 	}
 	svc.Start()
 	obs.Log().Info("reveald listening",
-		"addr", srv.Addr(), "workers", *workers,
+		"addr", srv.Addr(), "role", *role, "workers", poolWorkers,
 		"classify_workers", *classifyWorkers, "cache", *cacheCap,
-		"data_dir", *dataDir)
+		"lease_ttl", leaseTTL.String(), "tenant_quota", *tenantQuota,
+		"wal", walLog != nil, "data_dir", *dataDir)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
@@ -244,6 +355,15 @@ func run(args []string) error {
 		detail = drainErr.Error()
 	}
 	obs.Emit(obs.ServiceEvent{Type: obs.EventDrainDone, Detail: detail})
+	close(snapStop)
+	<-snapDone
+	if walLog != nil {
+		// A final snapshot compacts the journal so the next start replays a
+		// single image instead of the full segment tail.
+		if err := svc.Queue().SnapshotWAL(); err != nil {
+			obs.Log().Warn("final WAL snapshot failed", "error", err)
+		}
+	}
 	httpCtx, httpCancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer httpCancel()
 	if err := srv.Shutdown(httpCtx); err != nil {
@@ -253,5 +373,79 @@ func run(args []string) error {
 		return drainErr
 	}
 	obs.Log().Info("reveald stopped cleanly")
+	return nil
+}
+
+// workerConfig is the parsed flag set of a -role worker process.
+type workerConfig struct {
+	Addr            string
+	Coordinator     string
+	WorkerID        string
+	Slots           int
+	ClassifyWorkers int
+	CacheCapacity   int
+	DataDir         string
+	LeaseTTL        time.Duration
+}
+
+// runWorker runs the worker role: lease campaigns from the coordinator,
+// execute them locally, and report results back. The observability
+// endpoints (no campaign API) are served on cfg.Addr unless it is empty.
+func runWorker(rec *obs.Recorder, cfg workerConfig) error {
+	id := cfg.WorkerID
+	if id == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	client := service.NewClient(cfg.Coordinator)
+	// Ride out coordinator restarts: dial failures retry with backoff
+	// before the slot loop's own idle backoff takes over.
+	client.RetryAttempts = 4
+	cache := core.NewTemplateCache(max(cfg.CacheCapacity, 1))
+	runner := &service.Runner{
+		Cache: &service.RemoteTemplateCache{
+			Local:  cache,
+			Client: client,
+			Worker: id,
+		},
+		Workers: cfg.ClassifyWorkers,
+		DataDir: cfg.DataDir,
+	}
+	worker := &service.FabricWorker{
+		ID:       id,
+		Client:   client,
+		Runner:   runner,
+		Slots:    cfg.Slots,
+		LeaseTTL: cfg.LeaseTTL,
+	}
+
+	var srv *obs.MetricsServer
+	if cfg.Addr != "" {
+		var err error
+		srv, err = obs.ServeMetricsCfg(rec, cfg.Addr, obs.ServeConfig{Instrument: true})
+		if err != nil {
+			return fmt.Errorf("binding %s: %w", cfg.Addr, err)
+		}
+		obs.Log().Info("worker observability listening", "addr", srv.Addr())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	err := worker.Run(ctx)
+	if errors.Is(err, context.Canceled) {
+		err = nil
+	}
+	if srv != nil {
+		httpCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(httpCtx)
+	}
+	if err != nil {
+		return err
+	}
+	obs.Log().Info("worker stopped cleanly", "id", id)
 	return nil
 }

@@ -8,11 +8,14 @@
 package jobs
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 
+	"reveal/internal/jobs/wal"
 	"reveal/internal/obs"
 	"reveal/internal/sampler"
 )
@@ -27,6 +30,20 @@ const (
 	StateFailed  State = "failed"
 )
 
+// Submission and lease rejections; match with errors.Is. The HTTP layer
+// maps ErrQueueFull/ErrOverQuota to 429 + Retry-After (backpressure) and
+// ErrLeaseLost to 409 (the caller's lease is stale).
+var (
+	ErrQueueFull = errors.New("queue full")
+	ErrOverQuota = errors.New("tenant over quota")
+	// ErrLeaseLost rejects a renewal or completion whose worker/token pair no
+	// longer matches the job: the lease expired and the job was requeued (or
+	// already finished), so the caller's attempt is void.
+	ErrLeaseLost = errors.New("lease lost")
+	// ErrUnknownJob names a job ID the queue has never seen.
+	ErrUnknownJob = errors.New("unknown job")
+)
+
 // Queue metric names (global obs registry).
 const (
 	MetricQueueDepth      = "reveal_jobs_queue_depth"
@@ -37,6 +54,9 @@ const (
 	MetricQueueWait       = "reveal_jobs_queue_wait_seconds"       // labeled {kind=...}
 	MetricAttemptDuration = "reveal_jobs_attempt_duration_seconds" // labeled {kind=...}
 	MetricTenantJobs      = "reveal_tenant_jobs_total"             // labeled {tenant=...}
+	MetricJobsLeased      = "reveal_jobs_leased"                   // gauge: leases currently held
+	MetricLeaseExpired    = "reveal_jobs_lease_expired_total"
+	MetricJobsRejected    = "reveal_jobs_rejected_total" // labeled {reason="queue_full|over_quota"}
 )
 
 // Label cardinality caps for the queue's metric vectors. Job kinds are a
@@ -94,10 +114,22 @@ type Job struct {
 	Deadline time.Time
 	Error    string
 	Result   any
+	// LeaseWorker and LeaseExpiry are set while a fabric worker holds the
+	// job's lease (a leased job is StateRunning); the reaper requeues the job
+	// once LeaseExpiry passes without a renewal.
+	LeaseWorker string
+	LeaseExpiry time.Time
 
 	seq      uint64
 	canceled bool
 	cancel   func() // cancels the running attempt's context
+	// leaseToken authenticates renewals/completions for the current lease;
+	// it rotates on every grant, so a worker whose lease expired (and whose
+	// job was re-leased elsewhere) cannot complete the newer attempt.
+	leaseToken string
+	// payloadRaw is the serialized payload, populated at submit when a WAL
+	// journals the queue (and lazily at first lease otherwise).
+	payloadRaw json.RawMessage
 }
 
 // Status is the JSON-safe snapshot of a job served by the HTTP API.
@@ -118,9 +150,11 @@ type Status struct {
 	QueueWaitSeconds float64 `json:"queue_wait_seconds,omitempty"`
 	// RunSeconds is first claim → finish, covering every attempt and
 	// backoff pause; for a still-running job it is first claim → now.
-	RunSeconds float64 `json:"run_seconds,omitempty"`
-	Error      string  `json:"error,omitempty"`
-	Result     any     `json:"result,omitempty"`
+	RunSeconds  float64    `json:"run_seconds,omitempty"`
+	Error       string     `json:"error,omitempty"`
+	Result      any        `json:"result,omitempty"`
+	LeaseWorker string     `json:"lease_worker,omitempty"`
+	LeaseExpiry *time.Time `json:"lease_expiry,omitempty"`
 }
 
 func optTime(t time.Time) *time.Time {
@@ -148,6 +182,8 @@ func (j *Job) snapshot() Status {
 		Deadline:    optTime(j.Deadline),
 		Error:       j.Error,
 		Result:      j.Result,
+		LeaseWorker: j.LeaseWorker,
+		LeaseExpiry: optTime(j.LeaseExpiry),
 	}
 	if !j.FirstClaimedAt.IsZero() {
 		st.QueueWaitSeconds = j.FirstClaimedAt.Sub(j.SubmittedAt).Seconds()
@@ -171,8 +207,17 @@ type Options struct {
 	BackoffMax time.Duration
 	// JitterSeed seeds the deterministic backoff jitter PRNG.
 	JitterSeed uint64
-	// Capacity bounds queued+running jobs; 0 means unbounded.
+	// Capacity bounds queued+running jobs; 0 means unbounded. Over-capacity
+	// submissions fail with ErrQueueFull.
 	Capacity int
+	// TenantQuota bounds queued+running jobs per tenant (the empty tenant
+	// included); 0 means unlimited. Over-quota submissions fail with
+	// ErrOverQuota.
+	TenantQuota int
+	// WAL, when non-nil, journals every job lifecycle transition so the
+	// queue survives a process crash: call Restore right after NewQueue to
+	// replay it, and SnapshotWAL periodically to bound replay time.
+	WAL *wal.Log
 }
 
 // DefaultOptions returns the daemon defaults: 3 attempts, 500 ms base
@@ -199,23 +244,29 @@ type KindStats struct {
 // per-transition cost is a map read plus an atomic add. All fields are
 // nil-safe when observability is disabled.
 type queueMetrics struct {
-	depth      *obs.Gauge
-	running    *obs.Gauge
-	byState    *obs.CounterVec   // reveal_jobs_total{state=...}
-	queueWait  *obs.HistogramVec // reveal_jobs_queue_wait_seconds{kind=...}
-	attemptDur *obs.HistogramVec // reveal_jobs_attempt_duration_seconds{kind=...}
-	tenantJobs *obs.CounterVec   // reveal_tenant_jobs_total{tenant=...}
+	depth        *obs.Gauge
+	running      *obs.Gauge
+	leased       *obs.Gauge
+	byState      *obs.CounterVec   // reveal_jobs_total{state=...}
+	queueWait    *obs.HistogramVec // reveal_jobs_queue_wait_seconds{kind=...}
+	attemptDur   *obs.HistogramVec // reveal_jobs_attempt_duration_seconds{kind=...}
+	tenantJobs   *obs.CounterVec   // reveal_tenant_jobs_total{tenant=...}
+	rejected     *obs.CounterVec   // reveal_jobs_rejected_total{reason=...}
+	leaseExpired *obs.Counter
 }
 
 func newQueueMetrics() queueMetrics {
 	reg := obs.Global().Registry()
 	return queueMetrics{
-		depth:      reg.Gauge(MetricQueueDepth),
-		running:    reg.Gauge(MetricJobsRunning),
-		byState:    reg.CounterVec(MetricJobsTotal, "state", 8),
-		queueWait:  reg.HistogramVec(MetricQueueWait, "kind", maxKindLabels),
-		attemptDur: reg.HistogramVec(MetricAttemptDuration, "kind", maxKindLabels),
-		tenantJobs: reg.CounterVec(MetricTenantJobs, "tenant", maxTenantLabels),
+		depth:        reg.Gauge(MetricQueueDepth),
+		running:      reg.Gauge(MetricJobsRunning),
+		leased:       reg.Gauge(MetricJobsLeased),
+		byState:      reg.CounterVec(MetricJobsTotal, "state", 8),
+		queueWait:    reg.HistogramVec(MetricQueueWait, "kind", maxKindLabels),
+		attemptDur:   reg.HistogramVec(MetricAttemptDuration, "kind", maxKindLabels),
+		tenantJobs:   reg.CounterVec(MetricTenantJobs, "tenant", maxTenantLabels),
+		rejected:     reg.CounterVec(MetricJobsRejected, "reason", 4),
+		leaseExpired: reg.Counter(MetricLeaseExpired),
 	}
 }
 
@@ -232,7 +283,10 @@ type Queue struct {
 	jitter  sampler.PRNG
 	queued  int
 	running int
-	metrics queueMetrics
+	leased  int // subset of running held under fabric leases
+	// tenantActive counts queued+running jobs per tenant for TenantQuota.
+	tenantActive map[string]int
+	metrics      queueMetrics
 }
 
 // NewQueue builds an empty queue. The queue's metrics bind to the global
@@ -248,13 +302,14 @@ func NewQueue(opts Options) *Queue {
 		opts.BackoffMax = 30 * time.Second
 	}
 	return &Queue{
-		opts:    opts,
-		jobs:    map[string]*Job{},
-		byKind:  map[string]*KindStats{},
-		accept:  true,
-		wake:    make(chan struct{}),
-		jitter:  sampler.NewXoshiro256(opts.JitterSeed ^ 0x9042),
-		metrics: newQueueMetrics(),
+		opts:         opts,
+		jobs:         map[string]*Job{},
+		byKind:       map[string]*KindStats{},
+		accept:       true,
+		wake:         make(chan struct{}),
+		jitter:       sampler.NewXoshiro256(opts.JitterSeed ^ 0x9042),
+		tenantActive: map[string]int{},
+		metrics:      newQueueMetrics(),
 	}
 }
 
@@ -267,6 +322,7 @@ func (q *Queue) broadcast() {
 func (q *Queue) gauges() {
 	q.metrics.depth.Set(float64(q.queued))
 	q.metrics.running.Set(float64(q.running))
+	q.metrics.leased.Set(float64(q.leased))
 }
 
 // kindLocked returns the per-kind aggregate, creating it on first use;
@@ -308,7 +364,9 @@ func (j *Job) event(typ string, detail string) {
 	})
 }
 
-// Submit enqueues a job and returns its snapshot.
+// Submit enqueues a job and returns its snapshot. When the queue is over
+// capacity (ErrQueueFull) or the tenant over quota (ErrOverQuota) the
+// submission is rejected without side effects beyond the rejection counter.
 func (q *Queue) Submit(spec Spec) (Status, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -316,7 +374,24 @@ func (q *Queue) Submit(spec Spec) (Status, error) {
 		return Status{}, fmt.Errorf("jobs: queue is shutting down")
 	}
 	if q.opts.Capacity > 0 && q.queued+q.running >= q.opts.Capacity {
-		return Status{}, fmt.Errorf("jobs: queue full (%d jobs)", q.opts.Capacity)
+		q.metrics.rejected.With("queue_full").Inc()
+		return Status{}, fmt.Errorf("jobs: %w (%d jobs)", ErrQueueFull, q.opts.Capacity)
+	}
+	if q.opts.TenantQuota > 0 && q.tenantActive[spec.Tenant] >= q.opts.TenantQuota {
+		q.metrics.rejected.With("over_quota").Inc()
+		return Status{}, fmt.Errorf("jobs: %w: tenant %q has %d active jobs (quota %d)",
+			ErrOverQuota, spec.Tenant, q.tenantActive[spec.Tenant], q.opts.TenantQuota)
+	}
+	// Serialize the payload before committing the submit: the WAL's accept
+	// boundary promises a 202 response survives a crash, which requires the
+	// payload to be journalable.
+	var payloadRaw json.RawMessage
+	if q.opts.WAL != nil && spec.Payload != nil {
+		raw, err := json.Marshal(spec.Payload)
+		if err != nil {
+			return Status{}, fmt.Errorf("jobs: payload not journalable: %w", err)
+		}
+		payloadRaw = raw
 	}
 	q.seq++
 	maxAttempts := spec.MaxAttempts
@@ -335,12 +410,14 @@ func (q *Queue) Submit(spec Spec) (Status, error) {
 		SubmittedAt: now,
 		seq:         q.seq,
 	}
+	j.payloadRaw = payloadRaw
 	if spec.Timeout > 0 {
 		j.Deadline = now.Add(spec.Timeout)
 	}
 	q.jobs[j.ID] = j
 	q.byAge = append(q.byAge, j)
 	q.queued++
+	q.tenantActive[j.Tenant]++
 	ks := q.kindLocked(j.Kind)
 	ks.Submitted++
 	ks.Queued++
@@ -349,6 +426,7 @@ func (q *Queue) Submit(spec Spec) (Status, error) {
 		q.metrics.tenantJobs.With(j.Tenant).Inc()
 	}
 	q.gauges()
+	q.journalLocked(wal.RecSubmit, j)
 	j.event(obs.EventJobSubmitted, "")
 	obs.Log().Info("job submitted", "id", j.ID, "kind", j.Kind,
 		"trace_id", j.TraceID, "tenant", j.Tenant,
@@ -357,13 +435,19 @@ func (q *Queue) Submit(spec Spec) (Status, error) {
 	return j.snapshot(), nil
 }
 
-// reapLocked fails queued jobs whose deadline has passed. It runs on every
-// queue observation (and inside claim), so expiry does not depend on an
-// idle worker scanning the queue; q.mu must be held.
+// reapLocked fails queued jobs whose deadline has passed and reclaims
+// expired leases (the holder stopped heartbeating: the job requeues with
+// the usual retry backoff, or fails when its deadline or attempt budget is
+// spent). It runs on every queue observation (and inside claim/Lease), so
+// expiry does not depend on an idle worker scanning the queue; q.mu must
+// be held.
 func (q *Queue) reapLocked(now time.Time) {
 	for _, j := range q.byAge {
-		if j.State == StateQueued && !j.Deadline.IsZero() && now.After(j.Deadline) {
+		switch {
+		case j.State == StateQueued && !j.Deadline.IsZero() && now.After(j.Deadline):
 			q.finalizeLocked(j, StateFailed, "deadline exceeded while queued")
+		case j.State == StateRunning && j.LeaseWorker != "" && now.After(j.LeaseExpiry):
+			q.expireLeaseLocked(j, now)
 		}
 	}
 }
@@ -378,6 +462,25 @@ func (q *Queue) Get(id string) (Status, bool) {
 		return Status{}, false
 	}
 	return j.snapshot(), true
+}
+
+// Kind returns a job's workload kind ("" for unknown IDs) — used by the
+// fabric completion handler to decode results before taking the verdict.
+func (q *Queue) Kind(id string) string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if j, ok := q.jobs[id]; ok {
+		return j.Kind
+	}
+	return ""
+}
+
+// Leased returns how many jobs are currently held under fabric leases.
+func (q *Queue) Leased() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.reapLocked(time.Now())
+	return q.leased
 }
 
 // List returns every job in submission order.
@@ -427,6 +530,11 @@ func (q *Queue) Cancel(id string) error {
 	return nil
 }
 
+// StopAccepting rejects further submissions (drain mode) — the exported
+// form used by pool-less coordinators, which have no jobs.Pool to drain
+// through.
+func (q *Queue) StopAccepting() { q.stopAccepting() }
+
 // stopAccepting rejects further submissions (drain mode).
 func (q *Queue) stopAccepting() {
 	q.mu.Lock()
@@ -442,14 +550,27 @@ func (q *Queue) stopAccepting() {
 func (q *Queue) claim(now time.Time) (j *Job, wait time.Duration, wake <-chan struct{}) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	q.reapLocked(now)
+	best, wait := q.nextQueuedLocked(now)
+	if best == nil {
+		return nil, wait, q.wake
+	}
+	q.startLocked(best, now)
+	q.journalLocked(wal.RecStart, best)
+	best.event(obs.EventJobClaimed, "")
+	obs.Log().Debug("job claimed", "id", best.ID, "attempt", best.Attempts,
+		"trace_id", best.TraceID)
+	return best, 0, nil
+}
+
+// nextQueuedLocked scans for the oldest eligible queued job. When none is
+// eligible it returns the wait until the next backoff gate expires (0 when
+// nothing is pending at all); q.mu must be held.
+func (q *Queue) nextQueuedLocked(now time.Time) (*Job, time.Duration) {
 	var next time.Time
 	var best *Job
 	for _, cand := range q.byAge {
 		if cand.State != StateQueued {
-			continue
-		}
-		if !cand.Deadline.IsZero() && now.After(cand.Deadline) {
-			q.finalizeLocked(cand, StateFailed, "deadline exceeded while queued")
 			continue
 		}
 		if cand.NotBefore.After(now) {
@@ -463,31 +584,35 @@ func (q *Queue) claim(now time.Time) (j *Job, wait time.Duration, wake <-chan st
 		}
 	}
 	if best != nil {
-		best.State = StateRunning
-		best.Attempts++
-		best.StartedAt = now
-		if best.FirstClaimedAt.IsZero() {
-			best.FirstClaimedAt = now
-			q.metrics.queueWait.With(best.Kind).Observe(now.Sub(best.SubmittedAt).Seconds())
-		}
-		q.queued--
-		q.running++
-		ks := q.kindLocked(best.Kind)
-		ks.Queued--
-		ks.Running++
-		q.gauges()
-		best.event(obs.EventJobClaimed, "")
-		obs.Log().Debug("job claimed", "id", best.ID, "attempt", best.Attempts,
-			"trace_id", best.TraceID)
-		return best, 0, nil
+		return best, 0
 	}
+	var wait time.Duration
 	if !next.IsZero() {
 		wait = time.Until(next)
 		if wait < time.Millisecond {
 			wait = time.Millisecond
 		}
 	}
-	return nil, wait, q.wake
+	return nil, wait
+}
+
+// startLocked moves a queued job into StateRunning for its next attempt
+// (shared by the local pool's claim and the fabric Lease); q.mu must be
+// held.
+func (q *Queue) startLocked(j *Job, now time.Time) {
+	j.State = StateRunning
+	j.Attempts++
+	j.StartedAt = now
+	if j.FirstClaimedAt.IsZero() {
+		j.FirstClaimedAt = now
+		q.metrics.queueWait.With(j.Kind).Observe(now.Sub(j.SubmittedAt).Seconds())
+	}
+	q.queued--
+	q.running++
+	ks := q.kindLocked(j.Kind)
+	ks.Queued--
+	ks.Running++
+	q.gauges()
 }
 
 // finalizeLocked moves a job to a terminal state; q.mu must be held.
@@ -499,6 +624,16 @@ func (q *Queue) finalizeLocked(j *Job, state State, errMsg string) {
 	} else if j.State == StateRunning {
 		q.running--
 		ks.Running--
+	}
+	if j.State != StateDone && j.State != StateFailed {
+		q.tenantActive[j.Tenant]--
+		if q.tenantActive[j.Tenant] <= 0 {
+			delete(q.tenantActive, j.Tenant)
+		}
+	}
+	if j.LeaseWorker != "" {
+		q.leased--
+		j.LeaseWorker, j.leaseToken, j.LeaseExpiry = "", "", time.Time{}
 	}
 	j.State = state
 	j.Error = errMsg
@@ -513,6 +648,7 @@ func (q *Queue) finalizeLocked(j *Job, state State, errMsg string) {
 		q.metrics.byState.With("failed").Inc()
 	}
 	q.gauges()
+	q.journalLocked(wal.RecFinish, j)
 	j.event(obs.EventJobFinished, errMsg)
 	if j.TraceID != "" {
 		obs.FlowEvent(j.TraceID, obs.FlowEnd, "finished", map[string]any{
@@ -558,24 +694,32 @@ func (q *Queue) complete(j *Job, result any, err error) {
 	case !j.Deadline.IsZero() && time.Now().After(j.Deadline):
 		q.finalizeLocked(j, StateFailed, fmt.Sprintf("deadline exceeded: %v", err))
 	case j.Attempts < j.MaxAttempts:
-		backoff := q.backoffLocked(j.Attempts)
-		j.State = StateQueued
-		j.NotBefore = time.Now().Add(backoff)
-		j.Error = err.Error()
-		q.running--
-		q.queued++
-		ks := q.kindLocked(j.Kind)
-		ks.Running--
-		ks.Queued++
-		ks.Retried++
-		q.metrics.byState.With("retried").Inc()
-		q.gauges()
-		j.event(obs.EventJobRetried, err.Error())
-		obs.Log().Warn("job attempt failed, retrying", "id", j.ID,
-			"trace_id", j.TraceID, "attempt", j.Attempts,
-			"max_attempts", j.MaxAttempts, "backoff", backoff, "error", err)
-		q.broadcast()
+		q.retryLocked(j, time.Now(), err.Error())
 	default:
 		q.finalizeLocked(j, StateFailed, err.Error())
 	}
+}
+
+// retryLocked requeues a running job for its next attempt with jittered
+// exponential backoff (the caller has checked the attempt budget); q.mu
+// must be held.
+func (q *Queue) retryLocked(j *Job, now time.Time, errMsg string) {
+	backoff := q.backoffLocked(j.Attempts)
+	j.State = StateQueued
+	j.NotBefore = now.Add(backoff)
+	j.Error = errMsg
+	q.running--
+	q.queued++
+	ks := q.kindLocked(j.Kind)
+	ks.Running--
+	ks.Queued++
+	ks.Retried++
+	q.metrics.byState.With("retried").Inc()
+	q.gauges()
+	q.journalLocked(wal.RecRetry, j)
+	j.event(obs.EventJobRetried, errMsg)
+	obs.Log().Warn("job attempt failed, retrying", "id", j.ID,
+		"trace_id", j.TraceID, "attempt", j.Attempts,
+		"max_attempts", j.MaxAttempts, "backoff", backoff, "error", errMsg)
+	q.broadcast()
 }

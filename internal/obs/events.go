@@ -23,6 +23,18 @@ const (
 	EventJobClaimed   = "job_claimed"
 	EventJobRetried   = "job_retried"
 	EventJobFinished  = "job_finished"
+	// EventJobLeased marks a worker taking a lease on a job through the
+	// fabric lease API (the distributed analogue of job_claimed).
+	EventJobLeased = "job_leased"
+	// EventLeaseExpired marks a lease whose holder stopped heartbeating; the
+	// job is requeued (or failed when out of attempts).
+	EventLeaseExpired = "lease_expired"
+	// EventJobExpired marks a job whose absolute deadline passed while its
+	// lease was held by a dead worker; Detail names the lease holder.
+	EventJobExpired = "job_expired"
+	// EventWALRestore summarizes a queue restore from the write-ahead log
+	// at startup (requeued/terminal counts, replay horizon).
+	EventWALRestore   = "wal_restore"
 	EventCacheFill    = "cache_fill"
 	EventDrainStarted = "drain_started"
 	EventDrainDone    = "drain_done"

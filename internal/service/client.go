@@ -4,11 +4,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"strings"
+	"syscall"
 	"time"
 
 	"reveal/internal/jobs"
@@ -16,12 +19,22 @@ import (
 )
 
 // Client is a thin HTTP client for the reveald API, used by
-// `revealctl submit` / `revealctl status` and the end-to-end tests.
+// `revealctl submit` / `revealctl status`, the fabric worker loop, and
+// the end-to-end tests.
 type Client struct {
 	// BaseURL is the daemon root, e.g. "http://127.0.0.1:9090".
 	BaseURL string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+	// RetryAttempts is how many times a request is re-issued after a
+	// transient connection error (the coordinator restarting, the listener
+	// not up yet). Only errors raised before the request reached the server
+	// — dial failures, connection refused — are retried, so retried POSTs
+	// cannot double-apply. 0 disables retrying.
+	RetryAttempts int
+	// RetryBase is the first retry delay; attempt k waits RetryBase·2^k,
+	// capped at 5 s (default 200 ms).
+	RetryBase time.Duration
 }
 
 // NewClient builds a client for the given base URL.
@@ -36,23 +49,89 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// do issues one request and decodes the JSON response into out (skipped
-// when out is nil). Non-2xx responses are returned as errors carrying the
-// server's error payload.
+// APIError is a non-2xx daemon response. Callers branch on Status (e.g.
+// 409 = lease lost, 429 = backpressure) via errors.As or StatusCode.
+type APIError struct {
+	Method  string
+	Path    string
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("service: %s %s: %s (HTTP %d)", e.Method, e.Path, e.Message, e.Status)
+	}
+	return fmt.Sprintf("service: %s %s: HTTP %d", e.Method, e.Path, e.Status)
+}
+
+// StatusCode extracts the HTTP status from an APIError chain (0 when err
+// is not an API response, e.g. a transport failure).
+func StatusCode(err error) int {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Status
+	}
+	return 0
+}
+
+// isTransientConnErr reports whether err happened before the request
+// reached the server — the only class of failures safe to retry for
+// non-idempotent methods. url.Error/net.OpError unwrap through errors.As.
+func isTransientConnErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	var oe *net.OpError
+	if errors.As(err, &oe) && oe.Op == "dial" {
+		return true
+	}
+	return errors.Is(err, syscall.ECONNREFUSED)
+}
+
+// do issues one request (re-issuing it after transient connection errors
+// when RetryAttempts is set) and decodes the JSON response into out
+// (skipped when out is nil or the response has no body). Non-2xx
+// responses are returned as *APIError.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+	var data []byte
 	if body != nil {
-		data, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if data, err = json.Marshal(body); err != nil {
 			return fmt.Errorf("service: marshaling request: %w", err)
 		}
+	}
+	base := c.RetryBase
+	if base <= 0 {
+		base = 200 * time.Millisecond
+	}
+	for attempt := 0; ; attempt++ {
+		err := c.doOnce(ctx, method, path, data, body != nil, out)
+		if err == nil || attempt >= c.RetryAttempts || !isTransientConnErr(err) {
+			return err
+		}
+		delay := base << uint(attempt)
+		if delay > 5*time.Second {
+			delay = 5 * time.Second
+		}
+		select {
+		case <-ctx.Done():
+			return err
+		case <-time.After(delay):
+		}
+	}
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path string, data []byte, hasBody bool, out any) error {
+	var rd io.Reader
+	if hasBody {
 		rd = bytes.NewReader(data)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
 	if err != nil {
 		return err
 	}
-	if body != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.httpClient().Do(req)
@@ -60,21 +139,22 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		return err
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	rdata, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 	if err != nil {
 		return err
 	}
 	if resp.StatusCode >= 300 {
+		apiErr := &APIError{Method: method, Path: path, Status: resp.StatusCode}
 		var ae apiError
-		if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
-			return fmt.Errorf("service: %s %s: %s (HTTP %d)", method, path, ae.Error, resp.StatusCode)
+		if json.Unmarshal(rdata, &ae) == nil && ae.Error != "" {
+			apiErr.Message = ae.Error
 		}
-		return fmt.Errorf("service: %s %s: HTTP %d", method, path, resp.StatusCode)
+		return apiErr
 	}
-	if out == nil {
+	if out == nil || len(rdata) == 0 {
 		return nil
 	}
-	if err := json.Unmarshal(data, out); err != nil {
+	if err := json.Unmarshal(rdata, out); err != nil {
 		return fmt.Errorf("service: parsing %s response: %w", path, err)
 	}
 	return nil

@@ -1,0 +1,327 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"reveal/internal/jobs"
+	"reveal/internal/obs"
+	"reveal/internal/obs/history"
+)
+
+// Fabric wire types: the coordinator/worker protocol is plain HTTP/JSON
+// under /api/v1/fabric/, versioned with the rest of the API.
+
+// leaseRequest asks for one job lease. A positive WaitSeconds long-polls:
+// the coordinator holds the request until a job becomes eligible or the
+// wait expires (204 No Content).
+type leaseRequest struct {
+	Worker      string  `json:"worker"`
+	TTLSeconds  float64 `json:"ttl_seconds,omitempty"`
+	WaitSeconds float64 `json:"wait_seconds,omitempty"`
+}
+
+type leaseResponse struct {
+	Job *jobs.LeasedJob `json:"job"`
+}
+
+type renewRequest struct {
+	Worker     string  `json:"worker"`
+	Token      string  `json:"token"`
+	TTLSeconds float64 `json:"ttl_seconds,omitempty"`
+}
+
+type renewResponse struct {
+	LeaseExpiry time.Time `json:"lease_expiry"`
+}
+
+// completeRequest reports a leased attempt's outcome: Error empty means
+// success with Result holding the serialized campaign result.
+type completeRequest struct {
+	Worker string          `json:"worker"`
+	Token  string          `json:"token"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+type claimResponse struct {
+	// Train tells the caller to run the profiling campaign and upload the
+	// classifier; otherwise poll GET again after RetryAfterMS.
+	Train        bool  `json:"train"`
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// maxLeaseWait bounds one long-poll request; workers re-issue.
+const maxLeaseWait = 30 * time.Second
+
+// handleLease serves POST /api/v1/fabric/lease.
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "parsing lease request: %v", err)
+		return
+	}
+	if req.Worker == "" {
+		writeError(w, http.StatusBadRequest, "lease request needs a worker id")
+		return
+	}
+	ttl := time.Duration(req.TTLSeconds * float64(time.Second))
+	if ttl <= 0 {
+		ttl = s.leaseTTL
+	}
+	wait := time.Duration(req.WaitSeconds * float64(time.Second))
+	if wait > maxLeaseWait {
+		wait = maxLeaseWait
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		lj, backoff, wake, err := s.queue.Lease(req.Worker, ttl)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if lj != nil {
+			writeJSON(w, http.StatusOK, leaseResponse{Job: lj})
+			return
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		// Sleep until a submission wakes the queue, the next backoff gate
+		// opens, or the long-poll budget runs out.
+		pause := remaining
+		if backoff > 0 && backoff < pause {
+			pause = backoff
+		}
+		timer := time.NewTimer(pause)
+		select {
+		case <-wake:
+		case <-timer.C:
+		case <-r.Context().Done():
+			timer.Stop()
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		timer.Stop()
+	}
+}
+
+// handleRenew serves POST /api/v1/fabric/jobs/{id}/renew (the lease
+// heartbeat).
+func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
+	var req renewRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "parsing renew request: %v", err)
+		return
+	}
+	expiry, err := s.queue.RenewLease(r.PathValue("id"), req.Worker, req.Token,
+		time.Duration(req.TTLSeconds*float64(time.Second)))
+	if err != nil {
+		writeError(w, leaseErrCode(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, renewResponse{LeaseExpiry: expiry})
+}
+
+// handleComplete serves POST /api/v1/fabric/jobs/{id}/complete.
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req completeRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 32<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "parsing complete request: %v", err)
+		return
+	}
+	id := r.PathValue("id")
+	var result any
+	if req.Error == "" {
+		result = decodeResultByKind(s.queue.Kind(id), req.Result)
+	}
+	st, err := s.queue.CompleteLease(id, req.Worker, req.Token, result, req.Error)
+	if err != nil {
+		writeError(w, leaseErrCode(err), "%v", err)
+		return
+	}
+	if st.State == jobs.StateDone {
+		s.recordFabricResult(st, result)
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// leaseErrCode maps queue lease errors onto HTTP statuses: a lost lease is
+// a conflict (the caller's attempt is void), an unknown job 404.
+func leaseErrCode(err error) int {
+	switch {
+	case errors.Is(err, jobs.ErrUnknownJob):
+		return http.StatusNotFound
+	case errors.Is(err, jobs.ErrLeaseLost):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// recordFabricResult appends the quality-history record for a job that
+// completed on a remote worker — the worker has no history store, so the
+// coordinator records from the returned result instead of the runner.
+func (s *Server) recordFabricResult(st jobs.Status, result any) {
+	if s.history == nil && s.watchdog == nil {
+		return
+	}
+	var seed uint64
+	switch res := result.(type) {
+	case *AttackCampaignResult:
+		seed = res.Seed
+	case *DiagnoseCampaignResult:
+		seed = res.Seed
+	}
+	rec := qualityRunRecord(st.ID, st.TraceID, st.Kind, st.Tenant, seed,
+		st.RunSeconds, st.QueueWaitSeconds, result)
+	appendRunRecord(s.history, s.watchdog, obs.Log().With("job_id", st.ID), rec)
+}
+
+// handleTemplateGet serves GET /api/v1/fabric/templates/{key}: the raw
+// WriteClassifier serialization.
+func (s *Server) handleTemplateGet(w http.ResponseWriter, r *http.Request) {
+	blob, ok := s.registry.Get(r.PathValue("key"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "template %s not in registry", r.PathValue("key"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(blob)
+}
+
+// handleTemplateClaim serves POST /api/v1/fabric/templates/{key}/claim
+// (?worker= names the claimer): cross-node single-flight for training.
+func (s *Server) handleTemplateClaim(w http.ResponseWriter, r *http.Request) {
+	train, retry := s.registry.Claim(r.PathValue("key"), r.URL.Query().Get("worker"))
+	writeJSON(w, http.StatusOK, claimResponse{Train: train, RetryAfterMS: retry.Milliseconds()})
+}
+
+// handleTemplatePut serves PUT /api/v1/fabric/templates/{key}. A DELETE on
+// the same path releases the caller's claim without uploading (training
+// failed).
+func (s *Server) handleTemplatePut(w http.ResponseWriter, r *http.Request) {
+	blob, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 256<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading template: %v", err)
+		return
+	}
+	if len(blob) == 0 {
+		writeError(w, http.StatusBadRequest, "empty template upload")
+		return
+	}
+	s.registry.Put(r.PathValue("key"), blob)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleTemplateRelease(w http.ResponseWriter, r *http.Request) {
+	s.registry.Release(r.PathValue("key"), r.URL.Query().Get("worker"))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// DecodeCampaignPayload turns a journaled or leased campaign payload back
+// into the runner's in-memory form. Every campaign kind is a CampaignSpec;
+// the kind argument keeps the signature general for the queue's restore
+// callback.
+func DecodeCampaignPayload(kind string, raw json.RawMessage) (any, error) {
+	var spec CampaignSpec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return nil, fmt.Errorf("service: decoding %s payload: %w", kind, err)
+	}
+	if err := spec.Normalize(); err != nil {
+		return nil, err
+	}
+	return &spec, nil
+}
+
+// decodeResultByKind decodes a serialized campaign result into its typed
+// form so the /result endpoint and the history recorder see the same
+// shapes as local execution; unknown kinds (or mismatched payloads) fall
+// back to the generic JSON form.
+func decodeResultByKind(kind string, raw json.RawMessage) any {
+	if len(raw) == 0 {
+		return nil
+	}
+	var typed any
+	switch kind {
+	case KindAttack:
+		typed = new(AttackCampaignResult)
+	case KindDiagnose:
+		typed = new(DiagnoseCampaignResult)
+	case KindSleep:
+		typed = new(SleepCampaignResult)
+	}
+	if typed != nil && json.Unmarshal(raw, typed) == nil {
+		return typed
+	}
+	var v any
+	if json.Unmarshal(raw, &v) == nil {
+		return v
+	}
+	return nil
+}
+
+// qualityRunRecord builds the compact quality summary of one finished
+// campaign for the history store — shared by the local runner and the
+// fabric completion path (which reconstructs it from the worker's
+// serialized result).
+func qualityRunRecord(jobID, traceID, kind, tenant string, seed uint64,
+	elapsedSeconds, queueWaitSeconds float64, result any) history.RunRecord {
+	rec := history.RunRecord{
+		JobID:          jobID,
+		TraceID:        traceID,
+		Kind:           kind,
+		Tenant:         tenant,
+		Seed:           seed,
+		ElapsedSeconds: elapsedSeconds,
+		Stages:         map[string]float64{},
+		Metrics:        map[string]float64{},
+	}
+	if queueWaitSeconds > 0 {
+		rec.Stages["queue_wait_seconds"] = queueWaitSeconds
+	}
+	switch res := result.(type) {
+	case *AttackCampaignResult:
+		rec.Metrics["value_accuracy"] = res.ValueAcc
+		rec.Metrics["sign_accuracy"] = res.SignAcc
+		rec.Metrics["zero_accuracy"] = res.ZeroAcc
+		rec.Metrics["mean_margin"] = res.MeanMargin
+		if res.HintedBikz > 0 {
+			rec.Metrics["hinted_bikz"] = res.HintedBikz
+		}
+		rec.Stages["profile_seconds"] = res.ProfileSeconds
+		rec.Stages["attack_seconds"] = res.AttackSeconds
+	case *DiagnoseCampaignResult:
+		if rep := res.Report; rep != nil {
+			var snrMax, tvlaMax float64
+			for _, set := range rep.Sets {
+				if set.SNR.Max > snrMax {
+					snrMax = set.SNR.Max
+				}
+				for _, tt := range set.TTests {
+					if tt.Summary.Max > tvlaMax {
+						tvlaMax = tt.Summary.Max
+					}
+				}
+			}
+			rec.Metrics["snr_max"] = snrMax
+			rec.Metrics["tvla_max"] = tvlaMax
+			if rep.TotalPairs > 0 {
+				rec.Metrics["leaky_pair_ratio"] = float64(rep.LeakyPairs) / float64(rep.TotalPairs)
+			}
+			if rep.Healthy {
+				rec.Metrics["template_health"] = 1
+			} else {
+				rec.Metrics["template_health"] = 0
+			}
+		}
+	}
+	return rec
+}

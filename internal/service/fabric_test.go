@@ -1,0 +1,327 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"reveal/internal/core"
+	"reveal/internal/jobs"
+	"reveal/internal/jobs/wal"
+)
+
+// newFabricWorker assembles a worker node against the given coordinator
+// client, with latencies tuned for tests, and runs it until test cleanup.
+func newFabricWorker(t *testing.T, id string, client *Client, slots int) *FabricWorker {
+	t.Helper()
+	w := &FabricWorker{
+		ID:     id,
+		Client: client,
+		Runner: &Runner{Cache: core.NewTemplateCache(2), Workers: 1},
+		Slots:  slots,
+		// A short TTL keeps heartbeats exercised (renew interval floors at
+		// 100 ms); a short poll keeps idle slots responsive to cancel.
+		LeaseTTL: 400 * time.Millisecond,
+		PollWait: 200 * time.Millisecond,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = w.Run(ctx)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+	})
+	return w
+}
+
+func sleepSpec(ms, failAttempts int) *CampaignSpec {
+	return &CampaignSpec{Kind: KindSleep, SleepMS: ms, FailAttempts: failAttempts}
+}
+
+// TestFabricEndToEnd drives the distributed path: a pure coordinator (no
+// in-process pool) with a fabric worker leasing over HTTP. Every submitted
+// job — including one that fails its first attempt and retries — must
+// complete, with queue-wait/attempt accounting intact.
+func TestFabricEndToEnd(t *testing.T) {
+	svc, client := newTestService(t, Config{PoolWorkers: -1})
+	newFabricWorker(t, "node-a", client, 2)
+	ctx := context.Background()
+
+	specs := []*CampaignSpec{sleepSpec(5, 0), sleepSpec(5, 0), sleepSpec(1, 1)}
+	var ids []string
+	for _, spec := range specs {
+		st, err := client.Submit(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	waitCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	for i, id := range ids {
+		st, err := client.WaitDone(waitCtx, id, 10*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != jobs.StateDone {
+			t.Fatalf("job %s ended %s: %s", id, st.State, st.Error)
+		}
+		wantAttempts := 1
+		if specs[i].FailAttempts > 0 {
+			wantAttempts = specs[i].FailAttempts + 1
+		}
+		if st.Attempts != wantAttempts {
+			t.Fatalf("job %s attempts = %d, want %d", id, st.Attempts, wantAttempts)
+		}
+	}
+	if got := svc.Queue().Leased(); got != 0 {
+		t.Fatalf("leased gauge after drain = %d, want 0", got)
+	}
+}
+
+// TestFabricDeadWorkerRequeues is the worker-failure story: a "worker"
+// leases a job and dies (never heartbeats, never completes). The lease
+// expires, the coordinator requeues the job, a live worker finishes it on
+// attempt 2, and the dead worker's late completion bounces off 409.
+func TestFabricDeadWorkerRequeues(t *testing.T) {
+	_, client := newTestService(t, Config{PoolWorkers: -1})
+	ctx := context.Background()
+
+	st, err := client.Submit(ctx, sleepSpec(5, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead, err := client.LeaseJob(ctx, "doomed", 50*time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dead == nil || dead.ID != st.ID {
+		t.Fatalf("lease = %+v, want %s", dead, st.ID)
+	}
+	time.Sleep(70 * time.Millisecond) // outlive the lease without heartbeating
+
+	newFabricWorker(t, "survivor", client, 1)
+	waitCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	done, err := client.WaitDone(waitCtx, st.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != jobs.StateDone || done.Attempts != 2 {
+		t.Fatalf("job after dead worker = %+v, want done on attempt 2", done)
+	}
+	// The dead worker comes back and reports its stale verdict.
+	if _, err := client.CompleteJob(ctx, st.ID, "doomed", dead.Token, "stale", ""); StatusCode(err) != http.StatusConflict {
+		t.Fatalf("stale completion = %v, want HTTP 409", err)
+	}
+}
+
+// TestRemoteTemplateCacheSharesAcrossNodes: the first node trains and
+// uploads to the coordinator registry; a second node's miss resolves from
+// the registry without re-profiling, and yields a byte-identical
+// classifier.
+func TestRemoteTemplateCacheSharesAcrossNodes(t *testing.T) {
+	_, client := newTestService(t, Config{PoolWorkers: -1})
+	ctx := context.Background()
+
+	spec := &CampaignSpec{Kind: KindAttack, Seed: 7, ProfileTracesPerValue: 4, Encryptions: 1}
+	if err := spec.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	dev, popts := spec.deviceAndOptions()
+	key := core.TemplateCacheKey(dev, popts)
+	var trains atomic.Int32
+	train := func(ctx context.Context) (*core.CoefficientClassifier, error) {
+		trains.Add(1)
+		d, o := spec.deviceAndOptions() // fresh device per training run
+		return core.ProfileCtx(ctx, d, o)
+	}
+
+	nodeA := &RemoteTemplateCache{Local: core.NewTemplateCache(2), Client: client, Worker: "node-a"}
+	clsA, hitA, err := nodeA.GetOrTrain(ctx, key, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hitA || trains.Load() != 1 {
+		t.Fatalf("first node: hit=%v trains=%d, want miss and one training run", hitA, trains.Load())
+	}
+
+	nodeB := &RemoteTemplateCache{Local: core.NewTemplateCache(2), Client: client, Worker: "node-b"}
+	clsB, hitB, err := nodeB.GetOrTrain(ctx, key, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hitB || trains.Load() != 1 {
+		t.Fatalf("second node: hit=%v trains=%d, want registry hit and no retraining", hitB, trains.Load())
+	}
+	var bufA, bufB bytes.Buffer
+	if err := core.WriteClassifier(&bufA, clsA); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.WriteClassifier(&bufB, clsB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Fatal("registry round-trip produced a different classifier")
+	}
+	// Third lookup is an in-process LRU hit: no registry traffic needed.
+	if _, hit, err := nodeB.GetOrTrain(ctx, key, train); err != nil || !hit {
+		t.Fatalf("local re-lookup: hit=%v err=%v", hit, err)
+	}
+}
+
+// TestSubmitBackpressure: over-quota and over-capacity submissions come
+// back as HTTP 429 so clients know to back off, and capacity frees once
+// jobs finish.
+func TestSubmitBackpressure(t *testing.T) {
+	opts := fastQueue()
+	opts.Capacity = 2
+	_, client := newTestService(t, Config{PoolWorkers: -1, QueueOptions: opts})
+	ctx := context.Background()
+
+	for i := 0; i < 2; i++ {
+		if _, err := client.Submit(ctx, sleepSpec(5, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := client.Submit(ctx, sleepSpec(5, 0))
+	if StatusCode(err) != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity submit = %v, want HTTP 429", err)
+	}
+}
+
+// flakyTransport fails the first `failures` requests at dial level, then
+// delegates — the coordinator-restart shape the client retry must absorb.
+type flakyTransport struct {
+	failures atomic.Int32
+	attempts atomic.Int32
+}
+
+func (f *flakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f.attempts.Add(1)
+	if f.failures.Add(-1) >= 0 {
+		return nil, &net.OpError{Op: "dial", Net: "tcp", Err: syscall.ECONNREFUSED}
+	}
+	return http.DefaultTransport.RoundTrip(req)
+}
+
+// TestClientRetriesTransientDialErrors: connection-refused failures are
+// retried with backoff until the server is reachable; server-side errors
+// (which may have had effects) are not.
+func TestClientRetriesTransientDialErrors(t *testing.T) {
+	_, client := newTestService(t, Config{PoolWorkers: -1})
+	flaky := &flakyTransport{}
+	flaky.failures.Store(2)
+	client.HTTPClient = &http.Client{Transport: flaky}
+	client.RetryAttempts = 3
+	client.RetryBase = time.Millisecond
+
+	st, err := client.Submit(context.Background(), sleepSpec(1, 0))
+	if err != nil {
+		t.Fatalf("submit through flaky transport = %v, want success after retries", err)
+	}
+	if st.ID == "" || flaky.attempts.Load() != 3 {
+		t.Fatalf("id=%q attempts=%d, want an accepted job on the third attempt", st.ID, flaky.attempts.Load())
+	}
+
+	// A 5xx response reached the server: re-issuing could double-apply, so
+	// the client must surface it on the first attempt.
+	var hits atomic.Int32
+	failing := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer failing.Close()
+	c2 := NewClient(failing.URL)
+	c2.RetryAttempts = 3
+	c2.RetryBase = time.Millisecond
+	if _, err := c2.Submit(context.Background(), sleepSpec(1, 0)); StatusCode(err) != http.StatusInternalServerError {
+		t.Fatalf("5xx submit = %v, want HTTP 500 surfaced", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("5xx request issued %d times, want exactly 1 (no retry)", hits.Load())
+	}
+}
+
+// TestServiceWALRestart is the coordinator-restart acceptance story at the
+// service layer: jobs accepted (202) before a restart are journaled,
+// replayed into the next process, and run to completion there.
+func TestServiceWALRestart(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	log1, rep0, err := wal.Open(wal.Options{Dir: dir, SyncSubmits: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep0.Jobs) != 0 {
+		t.Fatalf("fresh WAL replayed %d jobs", len(rep0.Jobs))
+	}
+	opts := fastQueue()
+	opts.WAL = log1
+	svc1 := New(Config{PoolWorkers: -1, QueueOptions: opts})
+	svc1.Start()
+	ts1 := httptest.NewServer(svc1.Handler())
+	client1 := NewClient(ts1.URL)
+
+	var ids []string
+	for i := 0; i < 2; i++ {
+		st, err := client1.Submit(ctx, sleepSpec(1, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	// Restart: stop the listener, close the WAL cleanly (the crashier
+	// paths are covered by the jobs-layer tests), open the next process.
+	ts1.Close()
+	if err := svc1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := log1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	log2, rep, err := wal.Open(wal.Options{Dir: dir, SyncSubmits: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts2 := fastQueue()
+	opts2.WAL = log2
+	svc2 := New(Config{PoolWorkers: 1, QueueOptions: opts2})
+	requeued, terminal := svc2.Queue().Restore(rep, DecodeCampaignPayload)
+	if requeued != 2 || terminal != 0 {
+		t.Fatalf("restore = %d requeued, %d terminal; want 2, 0", requeued, terminal)
+	}
+	svc2.Start()
+	ts2 := httptest.NewServer(svc2.Handler())
+	client2 := NewClient(ts2.URL)
+	t.Cleanup(func() {
+		ts2.Close()
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = svc2.Shutdown(sctx)
+		_ = log2.Close()
+	})
+
+	waitCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	for _, id := range ids {
+		st, err := client2.WaitDone(waitCtx, id, 10*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != jobs.StateDone {
+			t.Fatalf("replayed job %s ended %s: %s", id, st.State, st.Error)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"reveal/internal/obs"
+)
+
+// Template-registry metric names (global obs registry).
+const (
+	MetricTemplateRegistryBlobs  = "reveal_template_registry_blobs"
+	MetricTemplateRegistryFills  = "reveal_template_registry_fills_total"
+	MetricTemplateRegistryClaims = "reveal_template_registry_claims_total"
+)
+
+// TemplateRegistry is the coordinator's content-addressed store of trained
+// classifiers: keys are core.TemplateCacheKey fingerprints, values the
+// WriteClassifier serialization. Workers GET a template before training,
+// and a claim table gives cross-node single-flight: the first worker to
+// claim a missing key trains it while the rest poll, so a fleet hitting
+// the same profile configuration runs the expensive profiling campaign
+// once. Claims expire (the trainer may die), handing the key to the next
+// claimer. Safe for concurrent use.
+type TemplateRegistry struct {
+	mu       sync.Mutex
+	blobs    map[string][]byte
+	order    []string // insertion order for FIFO eviction
+	claims   map[string]claim
+	capacity int
+	claimTTL time.Duration
+}
+
+type claim struct {
+	worker string
+	expiry time.Time
+}
+
+// NewTemplateRegistry builds a registry holding at most capacity blobs
+// (minimum 1); claimTTL <= 0 defaults to 2 minutes — it bounds how long a
+// dead trainer can stall the other nodes waiting on its key.
+func NewTemplateRegistry(capacity int, claimTTL time.Duration) *TemplateRegistry {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if claimTTL <= 0 {
+		claimTTL = 2 * time.Minute
+	}
+	return &TemplateRegistry{
+		blobs:    map[string][]byte{},
+		claims:   map[string]claim{},
+		capacity: capacity,
+		claimTTL: claimTTL,
+	}
+}
+
+// Get returns the serialized classifier for key.
+func (tr *TemplateRegistry) Get(key string) ([]byte, bool) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	blob, ok := tr.blobs[key]
+	return blob, ok
+}
+
+// Put stores a serialized classifier, releasing any claim on the key and
+// evicting the oldest blob when the registry is full.
+func (tr *TemplateRegistry) Put(key string, blob []byte) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	delete(tr.claims, key)
+	if _, ok := tr.blobs[key]; !ok {
+		tr.order = append(tr.order, key)
+		for len(tr.order) > tr.capacity {
+			evict := tr.order[0]
+			tr.order = tr.order[1:]
+			delete(tr.blobs, evict)
+		}
+	}
+	tr.blobs[key] = blob
+	reg := obs.Global().Registry()
+	reg.Counter(MetricTemplateRegistryFills).Inc()
+	reg.Gauge(MetricTemplateRegistryBlobs).Set(float64(len(tr.blobs)))
+	obs.Emit(obs.ServiceEvent{Type: obs.EventCacheFill, Detail: "registry " + key})
+}
+
+// Claim asks for the right to train key. It returns train=true when the
+// caller should run the profiling campaign and upload the result (the key
+// is missing and unclaimed, or the previous claim expired); otherwise the
+// caller polls Get again after retryAfter.
+func (tr *TemplateRegistry) Claim(key, worker string) (train bool, retryAfter time.Duration) {
+	now := time.Now()
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if _, ok := tr.blobs[key]; ok {
+		return false, 0
+	}
+	if c, ok := tr.claims[key]; ok && now.Before(c.expiry) && c.worker != worker {
+		return false, time.Until(c.expiry)
+	}
+	tr.claims[key] = claim{worker: worker, expiry: now.Add(tr.claimTTL)}
+	obs.Global().Registry().Counter(MetricTemplateRegistryClaims).Inc()
+	return true, tr.claimTTL
+}
+
+// Release abandons a claim (training failed) so another node can take it.
+func (tr *TemplateRegistry) Release(key, worker string) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if c, ok := tr.claims[key]; ok && c.worker == worker {
+		delete(tr.claims, key)
+	}
+}
+
+// Len returns the number of stored blobs.
+func (tr *TemplateRegistry) Len() int {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return len(tr.blobs)
+}

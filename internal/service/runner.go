@@ -22,9 +22,18 @@ import (
 // Runner executes campaign jobs: it resolves templates through the shared
 // LRU cache, captures deterministic synthetic encryptions, and runs the
 // (optionally sharded-parallel) single-trace attack.
+// TemplateSource resolves trained classifiers by template key — the
+// in-process core.TemplateCache in single-node deployments, or a
+// RemoteTemplateCache chaining the local LRU to the coordinator's
+// registry on fabric workers.
+type TemplateSource interface {
+	GetOrTrain(ctx context.Context, key string,
+		train func(context.Context) (*core.CoefficientClassifier, error)) (*core.CoefficientClassifier, bool, error)
+}
+
 type Runner struct {
-	// Cache is the shared template cache (required).
-	Cache *core.TemplateCache
+	// Cache is the shared template source (required).
+	Cache TemplateSource
 	// Workers is the default classification worker count for campaigns
 	// that do not set their own (values <= 1 run serially).
 	Workers int
@@ -140,64 +149,27 @@ func (r *Runner) record(lg *slog.Logger, job *jobs.Job, spec *CampaignSpec, resu
 	if r.History == nil && r.Watchdog == nil {
 		return
 	}
-	rec := history.RunRecord{
-		JobID:          job.ID,
-		TraceID:        job.TraceID,
-		Kind:           spec.Kind,
-		Tenant:         job.Tenant,
-		Seed:           spec.Seed,
-		ElapsedSeconds: time.Since(start).Seconds(),
-		Stages:         map[string]float64{},
-		Metrics:        map[string]float64{},
-	}
+	var queueWait float64
 	if !job.FirstClaimedAt.IsZero() && job.FirstClaimedAt.After(job.SubmittedAt) {
-		rec.Stages["queue_wait_seconds"] = job.FirstClaimedAt.Sub(job.SubmittedAt).Seconds()
+		queueWait = job.FirstClaimedAt.Sub(job.SubmittedAt).Seconds()
 	}
-	switch res := result.(type) {
-	case *AttackCampaignResult:
-		rec.Metrics["value_accuracy"] = res.ValueAcc
-		rec.Metrics["sign_accuracy"] = res.SignAcc
-		rec.Metrics["zero_accuracy"] = res.ZeroAcc
-		rec.Metrics["mean_margin"] = res.MeanMargin
-		if res.HintedBikz > 0 {
-			rec.Metrics["hinted_bikz"] = res.HintedBikz
-		}
-		rec.Stages["profile_seconds"] = res.ProfileSeconds
-		rec.Stages["attack_seconds"] = res.AttackSeconds
-	case *DiagnoseCampaignResult:
-		if rep := res.Report; rep != nil {
-			var snrMax, tvlaMax float64
-			for _, set := range rep.Sets {
-				if set.SNR.Max > snrMax {
-					snrMax = set.SNR.Max
-				}
-				for _, tt := range set.TTests {
-					if tt.Summary.Max > tvlaMax {
-						tvlaMax = tt.Summary.Max
-					}
-				}
-			}
-			rec.Metrics["snr_max"] = snrMax
-			rec.Metrics["tvla_max"] = tvlaMax
-			if rep.TotalPairs > 0 {
-				rec.Metrics["leaky_pair_ratio"] = float64(rep.LeakyPairs) / float64(rep.TotalPairs)
-			}
-			if rep.Healthy {
-				rec.Metrics["template_health"] = 1
-			} else {
-				rec.Metrics["template_health"] = 0
-			}
-		}
-	}
-	if r.History != nil {
-		stamped, err := r.History.Append(rec)
+	rec := qualityRunRecord(job.ID, job.TraceID, spec.Kind, job.Tenant, spec.Seed,
+		time.Since(start).Seconds(), queueWait, result)
+	appendRunRecord(r.History, r.Watchdog, lg, rec)
+}
+
+// appendRunRecord persists one quality record and feeds the drift
+// watchdog; shared by the local runner and the fabric completion handler.
+func appendRunRecord(store *history.Store, wd *history.Watchdog, lg *slog.Logger, rec history.RunRecord) {
+	if store != nil {
+		stamped, err := store.Append(rec)
 		if err != nil {
 			lg.Warn("history record not persisted", "error", err)
 		} else {
 			rec = stamped
 		}
 	}
-	if alerts := r.Watchdog.Observe(rec); len(alerts) > 0 {
+	if alerts := wd.Observe(rec); len(alerts) > 0 {
 		for _, a := range alerts {
 			lg.Warn("quality drift detected", "kind", a.Kind, "metric", a.Metric,
 				"baseline", a.Baseline, "current", a.Current,

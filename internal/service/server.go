@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -34,27 +35,35 @@ type Config struct {
 	// Watchdog, when set (requires History to be useful), watches the
 	// recorded quality trajectory for drift against pinned baselines.
 	Watchdog *history.Watchdog
+	// LeaseTTL is the default fabric lease duration granted to workers that
+	// do not request one (0 → jobs.DefaultLeaseTTL).
+	LeaseTTL time.Duration
 }
 
-// Server is the campaign service: the queue, the worker pool, the template
-// cache, the quality-history store, and the HTTP API over them.
+// Server is the campaign service: the queue, the worker pool (absent on a
+// pure coordinator), the template cache and registry, the quality-history
+// store, and the HTTP API over them.
 type Server struct {
 	queue    *jobs.Queue
 	pool     *jobs.Pool
 	cache    *core.TemplateCache
+	registry *TemplateRegistry
 	runner   *Runner
 	history  *history.Store
 	watchdog *history.Watchdog
+	leaseTTL time.Duration
 	mux      *http.ServeMux
 	started  time.Time
 }
 
-// New assembles a Server. Call Start to launch the workers.
+// New assembles a Server. Call Start to launch the workers. PoolWorkers
+// < 0 builds a pure coordinator: no in-process pool, every job executes on
+// fabric workers leasing over HTTP.
 func New(cfg Config) *Server {
 	if cfg.QueueOptions == (jobs.Options{}) {
 		cfg.QueueOptions = jobs.DefaultOptions()
 	}
-	if cfg.PoolWorkers < 1 {
+	if cfg.PoolWorkers == 0 {
 		cfg.PoolWorkers = 1
 	}
 	if cfg.CacheCapacity < 1 {
@@ -63,13 +72,20 @@ func New(cfg Config) *Server {
 	s := &Server{
 		queue:    jobs.NewQueue(cfg.QueueOptions),
 		cache:    core.NewTemplateCache(cfg.CacheCapacity),
+		registry: NewTemplateRegistry(4*cfg.CacheCapacity, 0),
 		history:  cfg.History,
 		watchdog: cfg.Watchdog,
+		leaseTTL: cfg.LeaseTTL,
 		started:  time.Now(),
+	}
+	if s.leaseTTL <= 0 {
+		s.leaseTTL = jobs.DefaultLeaseTTL
 	}
 	s.runner = &Runner{Cache: s.cache, Workers: cfg.ClassifyWorkers, DataDir: cfg.DataDir,
 		History: cfg.History, Watchdog: cfg.Watchdog}
-	s.pool = jobs.NewPool(s.queue, cfg.PoolWorkers, s.runner.Run)
+	if cfg.PoolWorkers > 0 {
+		s.pool = jobs.NewPool(s.queue, cfg.PoolWorkers, s.runner.Run)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /api/v1/campaigns", s.handleSubmit)
 	s.mux.HandleFunc("GET /api/v1/campaigns", s.handleList)
@@ -79,15 +95,43 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /api/v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /api/v1/history", s.handleHistory)
 	s.mux.HandleFunc("GET /api/v1/history/aggregate", s.handleHistoryAggregate)
+	s.mux.HandleFunc("POST /api/v1/fabric/lease", s.handleLease)
+	s.mux.HandleFunc("POST /api/v1/fabric/jobs/{id}/renew", s.handleRenew)
+	s.mux.HandleFunc("POST /api/v1/fabric/jobs/{id}/complete", s.handleComplete)
+	s.mux.HandleFunc("GET /api/v1/fabric/templates/{key}", s.handleTemplateGet)
+	s.mux.HandleFunc("POST /api/v1/fabric/templates/{key}/claim", s.handleTemplateClaim)
+	s.mux.HandleFunc("PUT /api/v1/fabric/templates/{key}", s.handleTemplatePut)
+	s.mux.HandleFunc("DELETE /api/v1/fabric/templates/{key}/claim", s.handleTemplateRelease)
 	return s
 }
 
-// Start launches the worker pool.
-func (s *Server) Start() { s.pool.Start() }
+// Start launches the worker pool (no-op on a pure coordinator).
+func (s *Server) Start() {
+	if s.pool != nil {
+		s.pool.Start()
+	}
+}
 
 // Shutdown drains the service: no new submissions, running jobs finish
-// until ctx expires, then they are canceled.
-func (s *Server) Shutdown(ctx context.Context) error { return s.pool.Shutdown(ctx) }
+// until ctx expires, then they are canceled. On a pure coordinator it
+// waits for leased jobs to finish or expire instead.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.pool != nil {
+		return s.pool.Shutdown(ctx)
+	}
+	s.queue.StopAccepting()
+	for {
+		_, running := s.queue.Depth()
+		if running == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("service: %d leased jobs still running at shutdown", running)
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
 
 // Handler returns the API handler (routes under /api/v1/). It is mounted
 // by obs.ServeMetricsWith next to /metrics and /healthz.
@@ -111,6 +155,21 @@ func RouteLabel(r *http.Request) string {
 		return "/api/v1/history"
 	case p == "/api/v1/history/aggregate":
 		return "/api/v1/history/aggregate"
+	case p == "/api/v1/fabric/lease":
+		return "/api/v1/fabric/lease"
+	case strings.HasPrefix(p, "/api/v1/fabric/jobs/"):
+		if strings.HasSuffix(p, "/renew") {
+			return "/api/v1/fabric/jobs/{id}/renew"
+		}
+		if strings.HasSuffix(p, "/complete") {
+			return "/api/v1/fabric/jobs/{id}/complete"
+		}
+		return "/api/other"
+	case strings.HasPrefix(p, "/api/v1/fabric/templates/"):
+		if strings.HasSuffix(p, "/claim") {
+			return "/api/v1/fabric/templates/{key}/claim"
+		}
+		return "/api/v1/fabric/templates/{key}"
 	case strings.HasPrefix(p, "/api/v1/campaigns/"):
 		if strings.HasSuffix(p, "/result") {
 			return "/api/v1/campaigns/{id}/result"
@@ -174,6 +233,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Tenant:      spec.Tenant,
 	})
 	if err != nil {
+		// Backpressure rejections are 429 with a Retry-After hint so
+		// well-behaved clients (and the loadgen harness) back off instead
+		// of hammering a saturated coordinator.
+		if errors.Is(err, jobs.ErrQueueFull) || errors.Is(err, jobs.ErrOverQuota) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+			return
+		}
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
@@ -225,13 +292,19 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 // utilization, per-kind throughput, and the queue-wait / attempt-latency
 // distributions the revealctl top dashboard renders.
 type StatsResponse struct {
-	Queued          int              `json:"queued"`
-	Running         int              `json:"running"`
-	CachedTemplates int              `json:"cached_templates"`
-	Workers         int              `json:"workers"`
-	WorkersBusy     int              `json:"workers_busy"`
-	UptimeSeconds   float64          `json:"uptime_seconds"`
-	Kinds           []jobs.KindStats `json:"kinds,omitempty"`
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+	// Leased is how many of the running jobs are held by fabric workers
+	// under a lease (0 in single-process deployments).
+	Leased          int `json:"leased,omitempty"`
+	CachedTemplates int `json:"cached_templates"`
+	// RegistryTemplates counts the serialized classifiers in the fabric
+	// template registry.
+	RegistryTemplates int              `json:"registry_templates,omitempty"`
+	Workers           int              `json:"workers"`
+	WorkersBusy       int              `json:"workers_busy"`
+	UptimeSeconds     float64          `json:"uptime_seconds"`
+	Kinds             []jobs.KindStats `json:"kinds,omitempty"`
 	// QueueWait and AttemptLatency summarize the per-kind histograms
 	// (reveal_jobs_queue_wait_seconds / reveal_jobs_attempt_duration_seconds)
 	// keyed by job kind.
@@ -346,15 +419,20 @@ func parseInt64Param(r *http.Request, name string) (int64, error) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	queued, running := s.queue.Depth()
-	workers, busy := s.pool.Stats()
+	var workers, busy int
+	if s.pool != nil {
+		workers, busy = s.pool.Stats()
+	}
 	resp := StatsResponse{
-		Queued:          queued,
-		Running:         running,
-		CachedTemplates: s.cache.Len(),
-		Workers:         workers,
-		WorkersBusy:     busy,
-		UptimeSeconds:   time.Since(s.started).Seconds(),
-		Kinds:           s.queue.StatsByKind(),
+		Queued:            queued,
+		Running:           running,
+		Leased:            s.queue.Leased(),
+		CachedTemplates:   s.cache.Len(),
+		RegistryTemplates: s.registry.Len(),
+		Workers:           workers,
+		WorkersBusy:       busy,
+		UptimeSeconds:     time.Since(s.started).Seconds(),
+		Kinds:             s.queue.StatsByKind(),
 	}
 	if reg := obs.Global().Registry(); reg != nil {
 		for _, ks := range resp.Kinds {

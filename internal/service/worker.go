@@ -1,0 +1,201 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"reveal/internal/jobs"
+	"reveal/internal/obs"
+)
+
+// FabricWorker is the worker side of the campaign fabric: it leases jobs
+// from a coordinator over HTTP, executes them through the shared Runner,
+// heartbeats the lease while running, and reports the outcome back. A
+// worker that dies mid-job simply stops heartbeating — the coordinator's
+// reaper expires the lease and requeues the job elsewhere.
+type FabricWorker struct {
+	// ID names this worker in leases and events (required, unique per node).
+	ID string
+	// Client talks to the coordinator (required; give it RetryAttempts so a
+	// coordinator restart is ridden out instead of killing the loop).
+	Client *Client
+	// Runner executes the leased campaigns (required). Its Cache is
+	// typically a RemoteTemplateCache so templates are shared fleet-wide.
+	Runner *Runner
+	// Slots is how many jobs run concurrently (minimum 1).
+	Slots int
+	// LeaseTTL is the lease duration requested per job (0 → the
+	// coordinator's default). Heartbeats renew at a third of it.
+	LeaseTTL time.Duration
+	// PollWait is the server-side long-poll duration per idle lease request
+	// (default 10 s).
+	PollWait time.Duration
+}
+
+// Run leases and executes jobs until ctx is canceled. It returns ctx.Err()
+// on a clean stop; in-flight jobs are completed (or abandoned to lease
+// expiry when the coordinator is gone).
+func (w *FabricWorker) Run(ctx context.Context) error {
+	slots := w.Slots
+	if slots < 1 {
+		slots = 1
+	}
+	obs.Log().Info("fabric worker starting", "id", w.ID,
+		"coordinator", w.Client.BaseURL, "slots", slots)
+	var wg sync.WaitGroup
+	for i := 0; i < slots; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.slotLoop(ctx)
+		}()
+	}
+	wg.Wait()
+	obs.Log().Info("fabric worker stopped", "id", w.ID)
+	return ctx.Err()
+}
+
+func (w *FabricWorker) slotLoop(ctx context.Context) {
+	wait := w.PollWait
+	if wait <= 0 {
+		wait = 10 * time.Second
+	}
+	idleBackoff := time.Second
+	for ctx.Err() == nil {
+		lj, err := w.Client.LeaseJob(ctx, w.ID, w.LeaseTTL, wait)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			// Coordinator down or restarting: back off and keep trying; the
+			// client's own retry already absorbed short blips.
+			obs.Log().Warn("lease request failed", "worker", w.ID, "error", err)
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(idleBackoff):
+			}
+			if idleBackoff < 30*time.Second {
+				idleBackoff *= 2
+			}
+			continue
+		}
+		idleBackoff = time.Second
+		if lj == nil {
+			continue // long-poll expired with nothing eligible
+		}
+		w.execute(ctx, lj)
+	}
+}
+
+// execute runs one leased job attempt end to end.
+func (w *FabricWorker) execute(ctx context.Context, lj *jobs.LeasedJob) {
+	payload, err := DecodeCampaignPayload(lj.Kind, lj.Payload)
+	if err != nil {
+		w.complete(lj, nil, fmt.Sprintf("worker %s: %v", w.ID, err))
+		return
+	}
+	// Rebuild the runner's view of the job from the lease. FirstClaimedAt
+	// is unknown here; the coordinator owns queue-wait accounting.
+	job := &jobs.Job{
+		ID:          lj.ID,
+		Kind:        lj.Kind,
+		TraceID:     lj.TraceID,
+		Tenant:      lj.Tenant,
+		Payload:     payload,
+		State:       jobs.StateRunning,
+		Attempts:    lj.Attempts,
+		MaxAttempts: lj.MaxAttempts,
+		StartedAt:   time.Now(),
+		Deadline:    lj.Deadline,
+	}
+	actx, cancel := context.WithCancel(ctx)
+	if !lj.Deadline.IsZero() {
+		var dcancel context.CancelFunc
+		actx, dcancel = context.WithDeadline(actx, lj.Deadline)
+		defer dcancel()
+	}
+	defer cancel()
+	lost := w.heartbeat(actx, cancel, lj)
+	result, runErr := w.Runner.Run(actx, job)
+	if lost.Load() {
+		// The lease expired (or the job was canceled) while we ran: the
+		// coordinator already requeued or finalized it, and a completion
+		// with a stale token would be rejected anyway. Drop the result —
+		// duplicate-completion idempotence is the coordinator's contract.
+		obs.Log().Warn("lease lost mid-attempt, dropping result",
+			"id", lj.ID, "worker", w.ID)
+		return
+	}
+	errMsg := ""
+	if runErr != nil {
+		errMsg = runErr.Error()
+	}
+	w.complete(lj, result, errMsg)
+}
+
+// heartbeat renews the lease at a third of its TTL until the attempt ends;
+// on a lost lease it cancels the attempt context and flags *lost.
+func (w *FabricWorker) heartbeat(actx context.Context, cancel context.CancelFunc, lj *jobs.LeasedJob) *atomic.Bool {
+	lost := new(atomic.Bool)
+	ttl := w.LeaseTTL
+	if ttl <= 0 {
+		ttl = time.Until(lj.LeaseExpiry)
+	}
+	if ttl <= 0 {
+		ttl = jobs.DefaultLeaseTTL
+	}
+	interval := ttl / 3
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-actx.Done():
+				return
+			case <-ticker.C:
+			}
+			_, err := w.Client.RenewJobLease(actx, lj.ID, w.ID, lj.Token, ttl)
+			if err == nil {
+				continue
+			}
+			if actx.Err() != nil {
+				return
+			}
+			if StatusCode(err) == http.StatusConflict || StatusCode(err) == http.StatusNotFound {
+				// Lease lost for real: stop burning CPU on a void attempt.
+				lost.Store(true)
+				cancel()
+				return
+			}
+			// Transient failure (coordinator restarting): keep running and
+			// let the next tick retry — the job is lost only if the outage
+			// outlives the lease TTL.
+			obs.Log().Warn("lease renewal failed", "id", lj.ID, "worker", w.ID, "error", err)
+		}
+	}()
+	return lost
+}
+
+// complete reports the outcome with a fresh context: the worker may be
+// shutting down (ctx canceled) and the verdict should still reach the
+// coordinator.
+func (w *FabricWorker) complete(lj *jobs.LeasedJob, result any, errMsg string) {
+	cctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	st, err := w.Client.CompleteJob(cctx, lj.ID, w.ID, lj.Token, result, errMsg)
+	if err != nil {
+		obs.Log().Warn("job completion not accepted", "id", lj.ID,
+			"worker", w.ID, "error", err)
+		return
+	}
+	obs.Log().Info("job completed via fabric", "id", lj.ID, "worker", w.ID,
+		"state", string(st.State), "attempt", lj.Attempts, "error", errMsg)
+}
