@@ -37,6 +37,7 @@ func parseSubmitArgs(args []string, stdin io.Reader, stderr io.Writer) (*submitC
 	kind := fs.String("kind", "attack", "campaign kind: attack, diagnose, sleep")
 	seed := fs.Uint64("seed", 1, "campaign seed")
 	lowNoise := fs.Bool("lownoise", false, "use the low-noise measurement setup")
+	paramSet := fs.String("param-set", "", "SEAL parameter set: paper/n1024 (default), n2048, n4096, n8192")
 	traces := fs.Int("traces", 0, "profiling traces per coefficient value (0 = preset default)")
 	encryptions := fs.Int("encryptions", 1, "single-trace attacks to run (attack kind)")
 	workers := fs.Int("workers", 0, "classification goroutines (0 = daemon default)")
@@ -70,6 +71,7 @@ func parseSubmitArgs(args []string, stdin io.Reader, stderr io.Writer) (*submitC
 			Kind:                  *kind,
 			Seed:                  *seed,
 			LowNoise:              *lowNoise,
+			ParamSet:              *paramSet,
 			ProfileTracesPerValue: *traces,
 			Encryptions:           *encryptions,
 			Workers:               *workers,

@@ -95,7 +95,7 @@ func run(out string, count int, q, seed uint64, length int, lowNoise bool) error
 		dev = core.NewDevice(seed)
 	}
 	const coeffsPerRun = 18
-	src, err := core.FirmwareSource(coeffsPerRun, q)
+	src, err := core.FirmwareSource(coeffsPerRun, core.FirmwareModulus(q))
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,138 @@
+package bfv
+
+// Cross-backend differential matrix at the scheme level: the full keygen →
+// encrypt → decrypt pipeline must produce byte-identical ciphertexts on
+// every ring backend (same PRNG seed), and decryption must round-trip on
+// every ladder parameter set. This is what keeps the replay-determinism
+// digest independent of the backend choice.
+
+import (
+	"fmt"
+	"testing"
+
+	"reveal/internal/ring"
+	"reveal/internal/sampler"
+)
+
+func matrixSetup(t *testing.T, backend string, n int, seed uint64) (*Parameters, *Encryptor, *Decryptor) {
+	t.Helper()
+	rp, err := ring.LadderParams(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := NewParametersOn(backend, n, rp.Moduli, 256,
+		sampler.DefaultSigma, sampler.DefaultMaxDeviation)
+	if err != nil {
+		t.Fatalf("NewParametersOn(%q, n=%d): %v", backend, n, err)
+	}
+	prng := sampler.NewXoshiro256(seed)
+	kg := NewKeyGenerator(params, prng)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	return params, NewEncryptor(params, pk, prng), NewDecryptor(params, sk)
+}
+
+func TestEncryptDecryptLadderMatrix(t *testing.T) {
+	for _, n := range ring.LadderDegrees() {
+		n := n
+		for _, be := range ring.BackendNames() {
+			be := be
+			t.Run(fmt.Sprintf("n=%d/backend=%s", n, be), func(t *testing.T) {
+				params, enc, dec := matrixSetup(t, be, n, 0xC0FFEE+uint64(n))
+				pt := params.NewPlaintext()
+				for i := range pt.Coeffs {
+					pt.Coeffs[i] = uint64(i*31+7) % params.T
+				}
+				ct, err := enc.Encrypt(pt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := dec.Decrypt(ct)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range pt.Coeffs {
+					if got.Coeffs[i] != pt.Coeffs[i] {
+						t.Fatalf("coeff %d decrypted to %d want %d", i, got.Coeffs[i], pt.Coeffs[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCiphertextBackendEquality: with identical PRNG seeds, the ciphertext
+// polynomials from both backends must match at every residue — reported
+// with the first mismatching (poly, modulus, coefficient) index.
+func TestCiphertextBackendEquality(t *testing.T) {
+	for _, n := range ring.LadderDegrees() {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			names := ring.BackendNames()
+			cts := make([]*Ciphertext, len(names))
+			for bi, be := range names {
+				params, enc, _ := matrixSetup(t, be, n, 0xBEEF+uint64(n))
+				pt := params.NewPlaintext()
+				for i := range pt.Coeffs {
+					pt.Coeffs[i] = uint64(i) % params.T
+				}
+				ct, err := enc.Encrypt(pt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cts[bi] = ct
+			}
+			ref := cts[0]
+			for bi := 1; bi < len(cts); bi++ {
+				if len(ref.C) != len(cts[bi].C) {
+					t.Fatalf("ciphertext size differs: %d vs %d", len(ref.C), len(cts[bi].C))
+				}
+				for p := range ref.C {
+					for j := range ref.C[p].Coeffs {
+						for i := range ref.C[p].Coeffs[j] {
+							if ref.C[p].Coeffs[j][i] != cts[bi].C[p].Coeffs[j][i] {
+								t.Fatalf("backend %s vs %s: first mismatch at poly %d modulus %d coeff %d: %d vs %d",
+									names[0], names[bi], p, j, i,
+									ref.C[p].Coeffs[j][i], cts[bi].C[p].Coeffs[j][i])
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestResolveParamSet(t *testing.T) {
+	for _, name := range []string{"", "paper", "n1024"} {
+		p, err := ResolveParamSet(name)
+		if err != nil {
+			t.Fatalf("ResolveParamSet(%q): %v", name, err)
+		}
+		if p.N != 1024 || p.Moduli[0] != PaperQ {
+			t.Fatalf("ResolveParamSet(%q) is not the paper configuration", name)
+		}
+	}
+	for _, tc := range []struct {
+		name  string
+		n     int
+		chain int
+	}{{"n2048", 2048, 1}, {"n4096", 4096, 3}, {"n8192", 8192, 5}} {
+		p, err := ResolveParamSet(tc.name)
+		if err != nil {
+			t.Fatalf("ResolveParamSet(%q): %v", tc.name, err)
+		}
+		if p.N != tc.n || len(p.Moduli) != tc.chain {
+			t.Fatalf("ResolveParamSet(%q): n=%d chain=%d", tc.name, p.N, len(p.Moduli))
+		}
+	}
+	for _, bad := range []string{"n512", "n2048x", "huge", "n"} {
+		if _, err := ResolveParamSet(bad); err == nil {
+			t.Fatalf("ResolveParamSet(%q) accepted", bad)
+		}
+	}
+	names := ParamSetNames()
+	if len(names) != 4 || names[0] != "n1024" || names[3] != "n8192" {
+		t.Fatalf("ParamSetNames() = %v", names)
+	}
+}

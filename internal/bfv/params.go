@@ -39,9 +39,20 @@ type Parameters struct {
 	deltaJ []uint64 // delta mod q_j
 }
 
-// NewParameters validates and precomputes a parameter set.
+// NewParameters validates and precomputes a parameter set on the default
+// ring backend.
 func NewParameters(n int, moduli []uint64, t uint64, sigma, maxDev float64) (*Parameters, error) {
-	ctx, err := ring.NewContext(n, moduli)
+	return NewParametersOn(ring.DefaultBackendName, n, moduli, t, sigma, maxDev)
+}
+
+// NewParametersOn is NewParameters bound to a named ring backend — the
+// entry point the cross-backend BFV differential matrix uses.
+func NewParametersOn(backend string, n int, moduli []uint64, t uint64, sigma, maxDev float64) (*Parameters, error) {
+	rp, err := ring.NewParameters(n, moduli)
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := ring.NewContextFor(rp, backend)
 	if err != nil {
 		return nil, err
 	}
@@ -83,39 +94,81 @@ func PaperParameters() *Parameters {
 	return p
 }
 
-// DefaultParameters returns a SEAL-style default chain for the given degree
-// with 128-bit-security-sized coefficient moduli (bit counts follow the
-// homomorphic encryption standard: 27, 54, 109, 218, 438, 881 total bits
-// for n = 1024..32768).
+// DefaultParameters returns the SEAL-default chain for the given degree from
+// the ring parameter ladder (bit counts follow the homomorphic encryption
+// standard: 27, 54, 109, 218 total bits for n = 1024..8192). Ladder
+// generation is deterministic — the chain order follows the declared
+// bit-size list, never a map walk — so residue layouts are stable across
+// processes, which replay determinism depends on.
 func DefaultParameters(n int, t uint64) (*Parameters, error) {
-	bitsPerDegree := map[int][]int{
-		1024:  {27},
-		2048:  {54},
-		4096:  {36, 36, 37},
-		8192:  {43, 43, 44, 44, 44},
-		16384: {48, 48, 48, 49, 49, 49, 49, 49, 49},
-		32768: {55, 55, 55, 55, 55, 55, 55, 55, 55, 55, 55, 55, 55, 55, 55, 56},
+	moduli, err := defaultModuli(n)
+	if err != nil {
+		return nil, err
 	}
-	sizes, ok := bitsPerDegree[n]
+	return NewParameters(n, moduli, t, sampler.DefaultSigma, sampler.DefaultMaxDeviation)
+}
+
+// extraBits extends the ring ladder with the two research degrees the
+// security-sweep estimator covers but the attack pipeline does not target.
+var extraBits = map[int][]int{
+	16384: {48, 48, 48, 49, 49, 49, 49, 49, 49},
+	32768: {55, 55, 55, 55, 55, 55, 55, 55, 55, 55, 55, 55, 55, 55, 55, 56},
+}
+
+func defaultModuli(n int) ([]uint64, error) {
+	if rp, err := ring.LadderParams(n); err == nil {
+		return rp.Moduli, nil
+	}
+	sizes, ok := extraBits[n]
 	if !ok {
 		return nil, fmt.Errorf("bfv: no default parameters for degree %d", n)
 	}
-	if n == 1024 {
-		return NewParameters(n, []uint64{PaperQ}, t, sampler.DefaultSigma, sampler.DefaultMaxDeviation)
-	}
+	// Same deterministic grouped walk as the ring ladder: adjacent equal
+	// bit sizes share one downward prime scan, order follows the declared
+	// list so the chain layout is stable across processes.
 	var moduli []uint64
-	counts := map[int]int{}
-	for _, b := range sizes {
-		counts[b]++
-	}
-	for b, c := range counts {
-		ps, err := modular.GeneratePrimes(b, uint64(2*n), c)
+	for i := 0; i < len(sizes); {
+		j := i
+		for j < len(sizes) && sizes[j] == sizes[i] {
+			j++
+		}
+		ps, err := modular.GeneratePrimes(sizes[i], uint64(2*n), j-i)
 		if err != nil {
 			return nil, err
 		}
 		moduli = append(moduli, ps...)
+		i = j
 	}
-	return NewParameters(n, moduli, t, sampler.DefaultSigma, sampler.DefaultMaxDeviation)
+	return moduli, nil
+}
+
+// ParamSetNames lists the named SEAL parameter sets campaign specs can
+// reference ("n1024" ... "n8192"), in increasing degree order.
+func ParamSetNames() []string {
+	var names []string
+	for _, n := range ring.LadderDegrees() {
+		names = append(names, fmt.Sprintf("n%d", n))
+	}
+	return names
+}
+
+// ResolveParamSet maps a named parameter set ("n2048", or "" / "paper" /
+// "n1024" for the paper's legacy configuration) to parameters with the
+// paper's plaintext modulus and noise defaults.
+func ResolveParamSet(name string) (*Parameters, error) {
+	switch name {
+	case "", "paper", "n1024":
+		return PaperParameters(), nil
+	}
+	var n int
+	if _, err := fmt.Sscanf(name, "n%d", &n); err != nil || fmt.Sprintf("n%d", n) != name {
+		return nil, fmt.Errorf("bfv: unknown parameter set %q (have %v)", name, ParamSetNames())
+	}
+	p, err := DefaultParameters(n, 256)
+	if err != nil {
+		return nil, fmt.Errorf("bfv: unknown parameter set %q (have %v)", name, ParamSetNames())
+	}
+	return p, nil
 }
 
 // Context returns the underlying ring context.

@@ -45,7 +45,7 @@ func CaptureEncryptionCtx(ctx context.Context, dev *Device, params *bfv.Paramete
 	// One sentinel iteration is appended so the last real coefficient's
 	// segment has the same tail shape as the others (its successor peak
 	// exists); the attack discards the sentinel's classification.
-	src, err := FirmwareSource(params.N+1, params.Moduli[0])
+	src, err := FirmwareSource(params.N+1, FirmwareModulus(params.Moduli[0]))
 	if err != nil {
 		return nil, err
 	}

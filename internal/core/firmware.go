@@ -34,12 +34,18 @@ const PolyBase uint32 = 0x4000
 //	    else:              poly[i] = 0
 //
 // The branch bodies execute different instructions, which is V1.
+//
+// q must fit a 32-bit register. For the wide ladder primes (up to 61 bits)
+// callers pass FirmwareModulus(q): the kernel then computes q_lo - noise,
+// and because subtraction mod 2^32 depends only on the low limbs, the
+// stored word is exactly the low 32 bits of the true residue q - noise —
+// the Hamming-weight leakage the attack models is unchanged.
 func FirmwareSource(n int, q uint64) (string, error) {
 	if n < 1 {
 		return "", fmt.Errorf("core: need at least 1 coefficient, got %d", n)
 	}
-	if q == 0 || q > 1<<31 {
-		return "", fmt.Errorf("core: modulus %d does not fit the RV32 kernel", q)
+	if q == 0 || q >= 1<<32 {
+		return "", fmt.Errorf("core: modulus %d does not fit the RV32 kernel (reduce with FirmwareModulus)", q)
 	}
 	return fmt.Sprintf(`
 	# RevEAL target kernel: SEAL v3.2 set_poly_coeffs_normal (Fig. 2).
@@ -76,8 +82,8 @@ func FirmwareBranchless(n int, q uint64) (string, error) {
 	if n < 1 {
 		return "", fmt.Errorf("core: need at least 1 coefficient, got %d", n)
 	}
-	if q == 0 || q > 1<<31 {
-		return "", fmt.Errorf("core: modulus %d does not fit the RV32 kernel", q)
+	if q == 0 || q >= 1<<32 {
+		return "", fmt.Errorf("core: modulus %d does not fit the RV32 kernel (reduce with FirmwareModulus)", q)
 	}
 	return fmt.Sprintf(`
 	# Patched kernel: branch-free sign assignment (SEAL >= v3.6 style).
@@ -104,6 +110,15 @@ loop:
 	blt  t0, s2, loop
 	ebreak
 `, PortBase, PolyBase, n, q), nil
+}
+
+// FirmwareModulus maps a coefficient modulus onto the 32-bit RV32 kernel:
+// the low limb of q. For the legacy 27-bit modulus this is the identity;
+// for the wide ladder primes the device computes residues mod 2^32, whose
+// stored words equal the low 32 bits of the true residues (subtraction
+// mod 2^32 only sees low limbs), preserving the leakage model.
+func FirmwareModulus(q uint64) uint64 {
+	return q & 0xffffffff
 }
 
 // AssembleFirmware assembles the kernel at address 0.

@@ -111,7 +111,7 @@ func CollectProfilingSetsCtx(ctx context.Context, dev *Device, opts ProfileOptio
 	if opts.CoeffsPerRun < 3 {
 		return nil, fmt.Errorf("core: CoeffsPerRun must be >= 3 (interior segments)")
 	}
-	src, err := FirmwareSource(opts.CoeffsPerRun, opts.Q)
+	src, err := FirmwareSource(opts.CoeffsPerRun, FirmwareModulus(opts.Q))
 	if err != nil {
 		return nil, err
 	}

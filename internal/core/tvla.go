@@ -44,9 +44,9 @@ func RunTVLA(dev *Device, q uint64, fixedValue int64, perClass int, branchless b
 	var src string
 	var err error
 	if branchless {
-		src, err = FirmwareBranchless(coeffsPerRun, q)
+		src, err = FirmwareBranchless(coeffsPerRun, FirmwareModulus(q))
 	} else {
-		src, err = FirmwareSource(coeffsPerRun, q)
+		src, err = FirmwareSource(coeffsPerRun, FirmwareModulus(q))
 	}
 	if err != nil {
 		return nil, err

@@ -210,6 +210,16 @@ func MulShoup(x, y, yPrecon, q uint64) uint64 {
 	return r
 }
 
+// MulShoupLazy is MulShoup without the final conditional subtraction: the
+// result is only guaranteed to lie in [0, 2q), congruent to x*y mod q. It
+// is the butterfly primitive of the lazy-reduction NTT, where operands are
+// themselves allowed to drift up to 4q before being brought back down.
+// y must be reduced mod q; x may be any uint64.
+func MulShoupLazy(x, y, yPrecon, q uint64) uint64 {
+	hi, _ := bits.Mul64(x, yPrecon)
+	return x*y - hi*q
+}
+
 // ShoupPrecon returns floor(y * 2^64 / q) for use with MulShoup.
 func ShoupPrecon(y, q uint64) uint64 {
 	quot, _ := bits.Div64(y, 0, q)

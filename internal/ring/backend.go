@@ -1,0 +1,175 @@
+package ring
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+
+	"reveal/internal/modular"
+)
+
+// Backend is the per-modulus arithmetic kernel behind a ring Context. Every
+// method operates on one residue vector (the coefficients modulo Moduli[j])
+// and must produce canonically reduced outputs in [0, q_j): backends may
+// use any internal representation (lazy reduction, Montgomery domain, ...)
+// but the values visible through a Poly are exact residues, which is what
+// makes two backends byte-comparable and keeps the replay-determinism
+// digest independent of the backend choice.
+//
+// The "reference" backend is the original strict-reduction implementation;
+// the "rns" backend is the production kernel (lazy-reduction Harvey NTT,
+// Barrett pointwise multiplication). The differential test matrix runs
+// every ring/bfv suite over both.
+type Backend interface {
+	// Name returns the registered backend name.
+	Name() string
+	// NTT transforms residue vector a (length N, modulus index j) to the
+	// negacyclic evaluation domain in place.
+	NTT(j int, a []uint64)
+	// INTT is the inverse transform, including the 1/n scaling.
+	INTT(j int, a []uint64)
+	// AddVec sets out[i] = a[i] + b[i] mod q_j.
+	AddVec(j int, a, b, out []uint64)
+	// SubVec sets out[i] = a[i] - b[i] mod q_j.
+	SubVec(j int, a, b, out []uint64)
+	// NegVec sets out[i] = -a[i] mod q_j.
+	NegVec(j int, a, out []uint64)
+	// MulVec sets out[i] = a[i] * b[i] mod q_j.
+	MulVec(j int, a, b, out []uint64)
+	// MulScalarVec sets out[i] = s * a[i] mod q_j for s already reduced
+	// mod q_j.
+	MulScalarVec(j int, a []uint64, s uint64, out []uint64)
+}
+
+// BackendFactory builds a backend instance bound to validated parameters.
+type BackendFactory func(p *Parameters) (Backend, error)
+
+const (
+	// ReferenceBackendName is the strict-reduction differential reference.
+	ReferenceBackendName = "reference"
+	// RNSBackendName is the production lazy-reduction backend.
+	RNSBackendName = "rns"
+	// DefaultBackendName is the backend NewContext uses.
+	DefaultBackendName = RNSBackendName
+)
+
+var (
+	backendMu       sync.RWMutex
+	backendRegistry = map[string]BackendFactory{}
+)
+
+// RegisterBackend adds a named backend factory; registering an existing
+// name panics (backend identity is part of the test matrix contract).
+func RegisterBackend(name string, f BackendFactory) {
+	backendMu.Lock()
+	defer backendMu.Unlock()
+	if _, dup := backendRegistry[name]; dup {
+		panic(fmt.Sprintf("ring: backend %q registered twice", name))
+	}
+	backendRegistry[name] = f
+}
+
+// BackendNames returns the registered backend names in sorted order — the
+// iteration set of the cross-backend differential test matrix.
+func BackendNames() []string {
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	names := make([]string, 0, len(backendRegistry))
+	for n := range backendRegistry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewBackend instantiates the named backend for the given parameters.
+func NewBackend(name string, p *Parameters) (Backend, error) {
+	backendMu.RLock()
+	f, ok := backendRegistry[name]
+	backendMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("ring: unknown backend %q (have %v)", name, BackendNames())
+	}
+	return f(p)
+}
+
+func init() {
+	RegisterBackend(ReferenceBackendName, newReferenceBackend)
+	RegisterBackend(RNSBackendName, newRNSBackend)
+}
+
+// nttTable holds per-modulus twiddle factors in bit-reversed order plus
+// Shoup preconditioners; both backends share this precomputation.
+type nttTable struct {
+	q           uint64
+	psiPows     []uint64 // psi^bitrev(i), psi a primitive 2n-th root
+	psiPowsPre  []uint64
+	ipsiPows    []uint64 // psi^-bitrev(i)
+	ipsiPowsPre []uint64
+	nInv        uint64 // n^-1 mod q
+	nInvPre     uint64
+}
+
+func newNTTTable(n int, q uint64) (nttTable, error) {
+	psi, err := modular.MinimalPrimitiveNthRoot(uint64(2*n), q)
+	if err != nil {
+		return nttTable{}, err
+	}
+	psiInv, ok := modular.Inverse(psi, q)
+	if !ok {
+		return nttTable{}, fmt.Errorf("ring: psi not invertible mod %d", q)
+	}
+	nInv, ok := modular.Inverse(uint64(n), q)
+	if !ok {
+		return nttTable{}, fmt.Errorf("ring: n not invertible mod %d", q)
+	}
+	tbl := nttTable{
+		q:           q,
+		psiPows:     make([]uint64, n),
+		psiPowsPre:  make([]uint64, n),
+		ipsiPows:    make([]uint64, n),
+		ipsiPowsPre: make([]uint64, n),
+		nInv:        nInv,
+		nInvPre:     modular.ShoupPrecon(nInv, q),
+	}
+	logN := bits.TrailingZeros(uint(n))
+	cur, icur := uint64(1), uint64(1)
+	for i := 0; i < n; i++ {
+		r := BitReverse(uint32(i), logN)
+		tbl.psiPows[r] = cur
+		tbl.ipsiPows[r] = icur
+		cur = modular.Mul(cur, psi, q)
+		icur = modular.Mul(icur, psiInv, q)
+	}
+	for i := 0; i < n; i++ {
+		tbl.psiPowsPre[i] = modular.ShoupPrecon(tbl.psiPows[i], q)
+		tbl.ipsiPowsPre[i] = modular.ShoupPrecon(tbl.ipsiPows[i], q)
+	}
+	return tbl, nil
+}
+
+// newNTTTables builds one table per modulus of p.
+func newNTTTables(p *Parameters) ([]nttTable, error) {
+	tables := make([]nttTable, 0, len(p.Moduli))
+	for _, q := range p.Moduli {
+		tbl, err := newNTTTable(p.N, q)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, tbl)
+	}
+	return tables, nil
+}
+
+// BitReverse reverses the low `bits` bits of x — the index permutation the
+// twiddle tables are stored in. It is exported for the table-layout
+// property tests (bit reversal is an involution).
+func BitReverse(x uint32, bits int) uint32 {
+	var r uint32
+	for i := 0; i < bits; i++ {
+		r = (r << 1) | (x & 1)
+		x >>= 1
+	}
+	return r
+}

@@ -1,0 +1,113 @@
+package ring
+
+import "reveal/internal/modular"
+
+// referenceBackend is the original strict-reduction implementation: every
+// butterfly fully reduces into [0, q) and the pointwise product divides via
+// the 128-bit intermediate. It is deliberately simple — it exists as the
+// differential reference the production backend is byte-compared against,
+// and as the implementation whose outputs every committed golden vector
+// and the selftest digest were pinned on.
+type referenceBackend struct {
+	n      int
+	moduli []uint64
+	tables []nttTable
+}
+
+func newReferenceBackend(p *Parameters) (Backend, error) {
+	tables, err := newNTTTables(p)
+	if err != nil {
+		return nil, err
+	}
+	return &referenceBackend{n: p.N, moduli: p.Moduli, tables: tables}, nil
+}
+
+func (b *referenceBackend) Name() string { return ReferenceBackendName }
+
+// NTT runs the negacyclic Cooley-Tukey NTT (natural order in, bit-reversed
+// twiddles, natural order out), the Longa-Naehrig layout.
+func (b *referenceBackend) NTT(j int, a []uint64) {
+	tbl := &b.tables[j]
+	n := b.n
+	q := tbl.q
+	t := n
+	for m := 1; m < n; m <<= 1 {
+		t >>= 1
+		for i := 0; i < m; i++ {
+			j1 := 2 * i * t
+			j2 := j1 + t
+			w := tbl.psiPows[m+i]
+			wPre := tbl.psiPowsPre[m+i]
+			for j := j1; j < j2; j++ {
+				u := a[j]
+				v := modular.MulShoup(a[j+t], w, wPre, q)
+				a[j] = modular.Add(u, v, q)
+				a[j+t] = modular.Sub(u, v, q)
+			}
+		}
+	}
+}
+
+// INTT runs the Gentleman-Sande inverse, including the 1/n scaling and the
+// psi^-1 twist (negacyclic).
+func (b *referenceBackend) INTT(j int, a []uint64) {
+	tbl := &b.tables[j]
+	n := b.n
+	q := tbl.q
+	t := 1
+	for m := n; m > 1; m >>= 1 {
+		j1 := 0
+		h := m >> 1
+		for i := 0; i < h; i++ {
+			j2 := j1 + t
+			w := tbl.ipsiPows[h+i]
+			wPre := tbl.ipsiPowsPre[h+i]
+			for j := j1; j < j2; j++ {
+				u := a[j]
+				v := a[j+t]
+				a[j] = modular.Add(u, v, q)
+				a[j+t] = modular.MulShoup(modular.Sub(u, v, q), w, wPre, q)
+			}
+			j1 += 2 * t
+		}
+		t <<= 1
+	}
+	for j := 0; j < n; j++ {
+		a[j] = modular.MulShoup(a[j], tbl.nInv, tbl.nInvPre, q)
+	}
+}
+
+func (b *referenceBackend) AddVec(j int, a, bb, out []uint64) {
+	q := b.moduli[j]
+	for i := range out {
+		out[i] = modular.Add(a[i], bb[i], q)
+	}
+}
+
+func (b *referenceBackend) SubVec(j int, a, bb, out []uint64) {
+	q := b.moduli[j]
+	for i := range out {
+		out[i] = modular.Sub(a[i], bb[i], q)
+	}
+}
+
+func (b *referenceBackend) NegVec(j int, a, out []uint64) {
+	q := b.moduli[j]
+	for i := range out {
+		out[i] = modular.Neg(a[i], q)
+	}
+}
+
+func (b *referenceBackend) MulVec(j int, a, bb, out []uint64) {
+	q := b.moduli[j]
+	for i := range out {
+		out[i] = modular.Mul(a[i], bb[i], q)
+	}
+}
+
+func (b *referenceBackend) MulScalarVec(j int, a []uint64, s uint64, out []uint64) {
+	q := b.moduli[j]
+	for i := range out {
+		out[i] = modular.Mul(a[i], s, q)
+	}
+}

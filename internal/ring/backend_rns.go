@@ -1,0 +1,152 @@
+package ring
+
+import "reveal/internal/modular"
+
+// rnsBackend is the production kernel: the same transform as the reference
+// backend (identical twiddle tables, identical butterfly order) computed
+// with lazy reduction. The forward NTT keeps residues in [0, 4q) across
+// butterflies (Harvey's bound) and reduces canonically only in a final
+// pass; the inverse keeps them in [0, 2q); the pointwise product replaces
+// the 128-bit hardware divide with a precomputed Barrett reduction. Every
+// output visible through a Poly is canonically reduced, so the backend is
+// byte-identical to the reference — the cross-backend differential matrix
+// enforces exactly that.
+type rnsBackend struct {
+	n       int
+	moduli  []uint64
+	tables  []nttTable
+	barrett []modular.Barrett
+}
+
+func newRNSBackend(p *Parameters) (Backend, error) {
+	tables, err := newNTTTables(p)
+	if err != nil {
+		return nil, err
+	}
+	barrett := make([]modular.Barrett, 0, len(p.Moduli))
+	for _, q := range p.Moduli {
+		br, err := modular.NewBarrett(q)
+		if err != nil {
+			return nil, err
+		}
+		barrett = append(barrett, br)
+	}
+	return &rnsBackend{n: p.N, moduli: p.Moduli, tables: tables, barrett: barrett}, nil
+}
+
+func (b *rnsBackend) Name() string { return RNSBackendName }
+
+// NTT is the lazy-reduction Cooley-Tukey forward transform. Butterfly
+// invariant: inputs < 4q, outputs < 4q (inputs arrive canonical, < q).
+// With q < 2^61 the lazy sums stay below 2^63, so nothing overflows.
+func (b *rnsBackend) NTT(j int, a []uint64) {
+	tbl := &b.tables[j]
+	n := b.n
+	q := tbl.q
+	twoQ := 2 * q
+	t := n
+	for m := 1; m < n; m <<= 1 {
+		t >>= 1
+		for i := 0; i < m; i++ {
+			j1 := 2 * i * t
+			j2 := j1 + t
+			w := tbl.psiPows[m+i]
+			wPre := tbl.psiPowsPre[m+i]
+			for k := j1; k < j2; k++ {
+				u := a[k]
+				if u >= twoQ {
+					u -= twoQ
+				}
+				v := modular.MulShoupLazy(a[k+t], w, wPre, q)
+				a[k] = u + v
+				a[k+t] = u + twoQ - v
+			}
+		}
+	}
+	// Canonical reduction pass: values are < 4q here.
+	for k := 0; k < n; k++ {
+		x := a[k]
+		if x >= twoQ {
+			x -= twoQ
+		}
+		if x >= q {
+			x -= q
+		}
+		a[k] = x
+	}
+}
+
+// INTT is the lazy-reduction Gentleman-Sande inverse. Butterfly invariant:
+// values < 2q; the final 1/n scaling reduces canonically.
+func (b *rnsBackend) INTT(j int, a []uint64) {
+	tbl := &b.tables[j]
+	n := b.n
+	q := tbl.q
+	twoQ := 2 * q
+	t := 1
+	for m := n; m > 1; m >>= 1 {
+		j1 := 0
+		h := m >> 1
+		for i := 0; i < h; i++ {
+			j2 := j1 + t
+			w := tbl.ipsiPows[h+i]
+			wPre := tbl.ipsiPowsPre[h+i]
+			for k := j1; k < j2; k++ {
+				u := a[k]
+				v := a[k+t]
+				s := u + v
+				if s >= twoQ {
+					s -= twoQ
+				}
+				a[k] = s
+				a[k+t] = modular.MulShoupLazy(u+twoQ-v, w, wPre, q)
+			}
+			j1 += 2 * t
+		}
+		t <<= 1
+	}
+	// MulShoup accepts the lazy (< 2q) inputs and reduces canonically.
+	for k := 0; k < n; k++ {
+		a[k] = modular.MulShoup(a[k], tbl.nInv, tbl.nInvPre, q)
+	}
+}
+
+func (b *rnsBackend) AddVec(j int, a, bb, out []uint64) {
+	q := b.moduli[j]
+	for i := range out {
+		out[i] = modular.Add(a[i], bb[i], q)
+	}
+}
+
+func (b *rnsBackend) SubVec(j int, a, bb, out []uint64) {
+	q := b.moduli[j]
+	for i := range out {
+		out[i] = modular.Sub(a[i], bb[i], q)
+	}
+}
+
+func (b *rnsBackend) NegVec(j int, a, out []uint64) {
+	q := b.moduli[j]
+	for i := range out {
+		out[i] = modular.Neg(a[i], q)
+	}
+}
+
+// MulVec multiplies pointwise through the precomputed Barrett state — no
+// hardware divide on the hot path, unlike the reference's 128-bit Div64.
+func (b *rnsBackend) MulVec(j int, a, bb, out []uint64) {
+	br := &b.barrett[j]
+	for i := range out {
+		out[i] = br.MulMod(a[i], bb[i])
+	}
+}
+
+// MulScalarVec precomputes the Shoup preconditioner for the scalar once
+// and runs the whole vector through the two-multiply Shoup path.
+func (b *rnsBackend) MulScalarVec(j int, a []uint64, s uint64, out []uint64) {
+	q := b.moduli[j]
+	sPre := modular.ShoupPrecon(s, q)
+	for i := range out {
+		out[i] = modular.MulShoup(a[i], s, sPre, q)
+	}
+}

@@ -1,0 +1,273 @@
+package ring_test
+
+// Cross-backend differential test matrix: every registered backend is run
+// over identical workloads and compared coefficient-by-coefficient — a
+// mismatch reports the first differing (modulus, coefficient) index. The
+// ladder golden vectors are cross-checked against the math/big reference
+// before the pinned digest is compared, so a golden file can never capture
+// a wrong transform.
+
+import (
+	"fmt"
+	"testing"
+
+	"reveal/internal/ring"
+	"reveal/internal/testkit"
+)
+
+// forEachBackend runs fn once per registered backend as a subtest — the
+// iteration set of the differential matrix.
+func forEachBackend(t *testing.T, fn func(t *testing.T, backend string)) {
+	t.Helper()
+	for _, name := range ring.BackendNames() {
+		name := name
+		t.Run("backend="+name, func(t *testing.T) { fn(t, name) })
+	}
+}
+
+// newCtxOn builds a context for (n, moduli) on the named backend.
+func newCtxOn(t testing.TB, backend string, n int, moduli []uint64) *ring.Context {
+	t.Helper()
+	params, err := ring.NewParameters(n, moduli)
+	if err != nil {
+		t.Fatalf("NewParameters(%d, %v): %v", n, moduli, err)
+	}
+	ctx, err := ring.NewContextFor(params, backend)
+	if err != nil {
+		t.Fatalf("NewContextFor(%q): %v", backend, err)
+	}
+	return ctx
+}
+
+// firstMismatch returns the first (modulus, coefficient) index where two
+// polynomials differ, or ok=true when they are identical.
+func firstMismatch(a, b *ring.Poly) (j, i int, ok bool) {
+	for j := range a.Coeffs {
+		for i := range a.Coeffs[j] {
+			if a.Coeffs[j][i] != b.Coeffs[j][i] {
+				return j, i, false
+			}
+		}
+	}
+	return 0, 0, true
+}
+
+func TestBackendRegistry(t *testing.T) {
+	names := ring.BackendNames()
+	want := map[string]bool{ring.ReferenceBackendName: false, ring.RNSBackendName: false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Fatalf("backend %q not registered (have %v)", n, names)
+		}
+	}
+	if _, err := ring.NewBackend("no-such-backend", ring.ParamsN1024()); err == nil {
+		t.Fatal("NewBackend accepted an unknown name")
+	}
+	ctx := newCtxOn(t, ring.RNSBackendName, 64, []uint64{12289})
+	if got := ctx.Backend().Name(); got != ring.RNSBackendName {
+		t.Fatalf("Backend().Name() = %q, want %q", got, ring.RNSBackendName)
+	}
+	if ctx.Params().N != 64 {
+		t.Fatalf("Params().N = %d, want 64", ctx.Params().N)
+	}
+}
+
+// TestCrossBackendByteEquality is the core of the matrix: both backends run
+// the same seeded NTT / multiply / vector-op workload and every output must
+// be byte-identical (the canonical-residue contract that keeps the selftest
+// digest backend-independent). Ladder primes with p ≡ 1 mod 2^14 are also
+// NTT-friendly at the small matrix degrees, so the real SEAL moduli get
+// exercised here without paying full-degree cost.
+func TestCrossBackendByteEquality(t *testing.T) {
+	cases := []struct {
+		name   string
+		n      int
+		moduli []uint64
+	}{
+		{"n64/legacy-q", 64, []uint64{ring.LegacyQ}},
+		{"n32/two-primes", 32, []uint64{12289, 257}},
+		{"n128/ladder-n4096-chain", 128, ring.ParamsN4096().Moduli},
+		{"n256/ladder-n8192-chain", 256, ring.ParamsN8192().Moduli},
+		{"n64/54bit", 64, ring.ParamsN2048().Moduli},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ref := newCtxOn(t, ring.ReferenceBackendName, tc.n, tc.moduli)
+			rns := newCtxOn(t, ring.RNSBackendName, tc.n, tc.moduli)
+			r1 := testkit.NewRNG(0xD1FF)
+			r2 := testkit.NewRNG(0xD1FF)
+			for iter := 0; iter < 6; iter++ {
+				aR, bR := r1.Poly(ref), r1.Poly(ref)
+				aP, bP := r2.Poly(rns), r2.Poly(rns)
+				if _, _, ok := firstMismatch(aR, aP); !ok {
+					t.Fatal("seeded inputs diverged; RNG is context-dependent")
+				}
+				type op struct {
+					name string
+					run  func(ctx *ring.Context, a, b *ring.Poly) *ring.Poly
+				}
+				ops := []op{
+					{"Add", func(ctx *ring.Context, a, b *ring.Poly) *ring.Poly {
+						out := ctx.NewPoly()
+						ctx.Add(a, b, out)
+						return out
+					}},
+					{"Sub", func(ctx *ring.Context, a, b *ring.Poly) *ring.Poly {
+						out := ctx.NewPoly()
+						ctx.Sub(a, b, out)
+						return out
+					}},
+					{"Neg", func(ctx *ring.Context, a, _ *ring.Poly) *ring.Poly {
+						out := ctx.NewPoly()
+						ctx.Neg(a, out)
+						return out
+					}},
+					{"MulScalar", func(ctx *ring.Context, a, _ *ring.Poly) *ring.Poly {
+						out := ctx.NewPoly()
+						ctx.MulScalar(a, 0x9E3779B97F4A7C15, out)
+						return out
+					}},
+					{"NTT", func(ctx *ring.Context, a, _ *ring.Poly) *ring.Poly {
+						out := a.Clone()
+						ctx.NTT(out)
+						return out
+					}},
+					{"MulPoly", func(ctx *ring.Context, a, b *ring.Poly) *ring.Poly {
+						out := ctx.NewPoly()
+						ctx.MulPoly(a, b, out)
+						return out
+					}},
+				}
+				for _, o := range ops {
+					gotR := o.run(ref, aR, bR)
+					gotP := o.run(rns, aP, bP)
+					if j, i, ok := firstMismatch(gotR, gotP); !ok {
+						t.Fatalf("%s iter=%d %s: first mismatch at modulus %d coeff %d: reference=%d rns=%d",
+							tc.name, iter, o.name, j, i, gotR.Coeffs[j][i], gotP.Coeffs[j][i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLadderRoundTripFullDegree runs forward+inverse NTT and a sparse ring
+// product at the real ladder degrees on both backends — full n=2048..8192
+// transforms against the math/big negacyclic reference (sparse operand, so
+// the schoolbook reference stays O(n·weight)).
+func TestLadderRoundTripFullDegree(t *testing.T) {
+	for _, n := range ring.LadderDegrees() {
+		n := n
+		params, err := ring.LadderParams(n)
+		if err != nil {
+			t.Fatalf("LadderParams(%d): %v", n, err)
+		}
+		forEachBackend(t, func(t *testing.T, be string) {
+			t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+				ctx, err := ring.NewContextFor(params, be)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r := testkit.NewRNG(0xAD0E + uint64(n))
+				dense := r.Poly(ctx)
+				orig := dense.Clone()
+				ctx.NTT(dense)
+				ctx.INTT(dense)
+				if j, i, ok := firstMismatch(dense, orig); !ok {
+					t.Fatalf("NTT round trip: first mismatch at modulus %d coeff %d", j, i)
+				}
+				// Sparse second operand: x^1 with coefficient c plus a
+				// constant term, so the reference product is cheap.
+				sparse := ctx.NewPoly()
+				for j, q := range ctx.Moduli {
+					sparse.Coeffs[j][0] = 3 % q
+					sparse.Coeffs[j][1] = (q - 1) / 2
+				}
+				out := ctx.NewPoly()
+				ctx.MulPoly(orig, sparse, out)
+				for j, q := range ctx.Moduli {
+					want, err := testkit.RefNegacyclicMul(orig.Coeffs[j], sparse.Coeffs[j], q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := range want {
+						if out.Coeffs[j][i] != want[i] {
+							t.Fatalf("n=%d q=%d: MulPoly vs math/big reference: first mismatch at coeff %d: got %d want %d",
+								n, q, i, out.Coeffs[j][i], want[i])
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+// goldenLadder pins per-parameter-set digests of a seeded NTT output and a
+// seeded sparse ring product. The test recomputes the math/big reference
+// for the product before comparing against the pinned digest, so the
+// golden can only ever pin an already-cross-checked transform.
+type goldenLadder struct {
+	N         int      `json:"n"`
+	Moduli    []uint64 `json:"moduli"`
+	Seed      uint64   `json:"seed"`
+	NTTDigest string   `json:"ntt_digest"`
+	MulDigest string   `json:"mul_digest"`
+}
+
+func TestGoldenLadderVectors(t *testing.T) {
+	for _, n := range ring.LadderDegrees() {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			params, err := ring.LadderParams(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Goldens are generated on the reference backend and must match
+			// on every backend — run the whole check per backend.
+			forEachBackend(t, func(t *testing.T, be string) {
+				ctx, err := ring.NewContextFor(params, be)
+				if err != nil {
+					t.Fatal(err)
+				}
+				seed := uint64(0x90D0 + n)
+				r := testkit.NewRNG(seed)
+				a := r.Poly(ctx)
+				sparse := ctx.NewPoly()
+				for j, q := range ctx.Moduli {
+					sparse.Coeffs[j][0] = 7 % q
+					sparse.Coeffs[j][n/2] = q - 2
+				}
+				prod := ctx.NewPoly()
+				ctx.MulPoly(a, sparse, prod)
+				// Cross-check against math/big before touching the golden.
+				for j, q := range ctx.Moduli {
+					want, err := testkit.RefNegacyclicMul(a.Coeffs[j], sparse.Coeffs[j], q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := range want {
+						if prod.Coeffs[j][i] != want[i] {
+							t.Fatalf("math/big cross-check failed at modulus %d coeff %d", j, i)
+						}
+					}
+				}
+				nttOut := a.Clone()
+				ctx.NTT(nttOut)
+				g := goldenLadder{
+					N:         n,
+					Moduli:    params.Moduli,
+					Seed:      seed,
+					NTTDigest: testkit.Digest(nttOut.Coeffs),
+					MulDigest: testkit.Digest(prod.Coeffs),
+				}
+				testkit.Golden(t, fmt.Sprintf("testdata/golden_ladder_n%d.json", n), g)
+			})
+		})
+	}
+}

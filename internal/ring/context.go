@@ -3,81 +3,66 @@
 // negacyclic number-theoretic transforms, and the arithmetic the encryptor,
 // decryptor and evaluator need. The coefficient layout follows SEAL:
 // coefficient i of residue j lives at Coeffs[j][i].
+//
+// The arithmetic kernels live behind the Backend interface: the "reference"
+// backend is the original strict-reduction implementation kept as the
+// differential oracle, the "rns" backend is the production lazy-reduction
+// kernel. A Context binds validated Parameters to one backend instance plus
+// the CRT reconstruction constants.
 package ring
 
 import (
 	"fmt"
 	"math/big"
-	"math/bits"
 
 	"reveal/internal/modular"
 )
 
 // Context holds precomputed state for R_q with a fixed degree n and a fixed
-// chain of NTT-friendly prime moduli.
+// chain of NTT-friendly prime moduli, bound to one arithmetic backend.
 type Context struct {
 	N       int      // polynomial degree, a power of two
 	Moduli  []uint64 // coefficient modulus chain q_0 ... q_{k-1}
-	logN    int
-	tables  []nttTable
+	params  *Parameters
+	backend Backend
 	bigQ    *big.Int   // product of all moduli
 	qiHat   []*big.Int // Q / q_i
 	qiHatIn []uint64   // (Q/q_i)^-1 mod q_i
 }
 
-// nttTable holds per-modulus twiddle factors in bit-reversed order plus
-// Shoup preconditioners.
-type nttTable struct {
-	q           uint64
-	psiPows     []uint64 // psi^bitrev(i), psi a primitive 2n-th root
-	psiPowsPre  []uint64
-	ipsiPows    []uint64 // psi^-bitrev(i)
-	ipsiPowsPre []uint64
-	nInv        uint64 // n^-1 mod q
-	nInvPre     uint64
+// NewContext validates the degree and moduli and builds a context on the
+// default backend. Each modulus must be prime, distinct, and ≡ 1 (mod 2n).
+func NewContext(n int, moduli []uint64) (*Context, error) {
+	params, err := NewParameters(n, moduli)
+	if err != nil {
+		return nil, err
+	}
+	return NewContextFor(params, DefaultBackendName)
 }
 
-// NewContext validates the degree and moduli and precomputes NTT tables and
-// CRT constants. Each modulus must be prime, distinct, and ≡ 1 (mod 2n).
-func NewContext(n int, moduli []uint64) (*Context, error) {
-	if n < 2 || n&(n-1) != 0 {
-		return nil, fmt.Errorf("ring: degree %d must be a power of two ≥ 2", n)
+// NewContextFor builds a context for already-validated parameters on the
+// named backend — the entry point the cross-backend differential matrix
+// uses to run identical workloads through every registered kernel.
+func NewContextFor(params *Parameters, backendName string) (*Context, error) {
+	if params == nil {
+		return nil, fmt.Errorf("ring: nil parameters")
 	}
-	if len(moduli) == 0 {
-		return nil, fmt.Errorf("ring: at least one modulus required")
+	backend, err := NewBackend(backendName, params)
+	if err != nil {
+		return nil, err
 	}
 	ctx := &Context{
-		N:      n,
-		Moduli: append([]uint64(nil), moduli...),
-		logN:   bits.TrailingZeros(uint(n)),
-	}
-	seen := map[uint64]bool{}
-	for _, q := range moduli {
-		if err := modular.ValidateModulus(q); err != nil {
-			return nil, err
-		}
-		if !modular.IsPrime(q) {
-			return nil, fmt.Errorf("ring: modulus %d is not prime", q)
-		}
-		if (q-1)%uint64(2*n) != 0 {
-			return nil, fmt.Errorf("ring: modulus %d is not ≡ 1 mod 2n=%d", q, 2*n)
-		}
-		if seen[q] {
-			return nil, fmt.Errorf("ring: duplicate modulus %d", q)
-		}
-		seen[q] = true
-		tbl, err := newNTTTable(n, q)
-		if err != nil {
-			return nil, err
-		}
-		ctx.tables = append(ctx.tables, tbl)
+		N:       params.N,
+		Moduli:  append([]uint64(nil), params.Moduli...),
+		params:  params,
+		backend: backend,
 	}
 	// CRT constants.
 	ctx.bigQ = big.NewInt(1)
-	for _, q := range moduli {
+	for _, q := range params.Moduli {
 		ctx.bigQ.Mul(ctx.bigQ, new(big.Int).SetUint64(q))
 	}
-	for _, q := range moduli {
+	for _, q := range params.Moduli {
 		qi := new(big.Int).SetUint64(q)
 		hat := new(big.Int).Quo(ctx.bigQ, qi)
 		ctx.qiHat = append(ctx.qiHat, hat)
@@ -91,52 +76,11 @@ func NewContext(n int, moduli []uint64) (*Context, error) {
 	return ctx, nil
 }
 
-func newNTTTable(n int, q uint64) (nttTable, error) {
-	psi, err := modular.MinimalPrimitiveNthRoot(uint64(2*n), q)
-	if err != nil {
-		return nttTable{}, err
-	}
-	psiInv, ok := modular.Inverse(psi, q)
-	if !ok {
-		return nttTable{}, fmt.Errorf("ring: psi not invertible mod %d", q)
-	}
-	nInv, ok := modular.Inverse(uint64(n), q)
-	if !ok {
-		return nttTable{}, fmt.Errorf("ring: n not invertible mod %d", q)
-	}
-	tbl := nttTable{
-		q:           q,
-		psiPows:     make([]uint64, n),
-		psiPowsPre:  make([]uint64, n),
-		ipsiPows:    make([]uint64, n),
-		ipsiPowsPre: make([]uint64, n),
-		nInv:        nInv,
-		nInvPre:     modular.ShoupPrecon(nInv, q),
-	}
-	logN := bits.TrailingZeros(uint(n))
-	cur, icur := uint64(1), uint64(1)
-	for i := 0; i < n; i++ {
-		r := bitrev(uint32(i), logN)
-		tbl.psiPows[r] = cur
-		tbl.ipsiPows[r] = icur
-		cur = modular.Mul(cur, psi, q)
-		icur = modular.Mul(icur, psiInv, q)
-	}
-	for i := 0; i < n; i++ {
-		tbl.psiPowsPre[i] = modular.ShoupPrecon(tbl.psiPows[i], q)
-		tbl.ipsiPowsPre[i] = modular.ShoupPrecon(tbl.ipsiPows[i], q)
-	}
-	return tbl, nil
-}
+// Params returns the validated parameters this context was built from.
+func (c *Context) Params() *Parameters { return c.params }
 
-func bitrev(x uint32, bits int) uint32 {
-	var r uint32
-	for i := 0; i < bits; i++ {
-		r = (r << 1) | (x & 1)
-		x >>= 1
-	}
-	return r
-}
+// Backend returns the arithmetic backend bound to this context.
+func (c *Context) Backend() Backend { return c.backend }
 
 // Level returns the number of moduli in the chain.
 func (c *Context) Level() int { return len(c.Moduli) }
@@ -159,8 +103,8 @@ func (c *Context) NTT(p *Poly) {
 	if p.InNTT {
 		return
 	}
-	for j := range c.tables {
-		c.nttForward(p.Coeffs[j], &c.tables[j])
+	for j := range p.Coeffs {
+		c.backend.NTT(j, p.Coeffs[j])
 	}
 	p.InNTT = true
 }
@@ -170,61 +114,10 @@ func (c *Context) INTT(p *Poly) {
 	if !p.InNTT {
 		return
 	}
-	for j := range c.tables {
-		c.nttInverse(p.Coeffs[j], &c.tables[j])
+	for j := range p.Coeffs {
+		c.backend.INTT(j, p.Coeffs[j])
 	}
 	p.InNTT = false
-}
-
-// nttForward runs the negacyclic Cooley-Tukey NTT (natural order in,
-// bit-reversed twiddles, natural order out), the Longa-Naehrig layout.
-func (c *Context) nttForward(a []uint64, tbl *nttTable) {
-	n := c.N
-	q := tbl.q
-	t := n
-	for m := 1; m < n; m <<= 1 {
-		t >>= 1
-		for i := 0; i < m; i++ {
-			j1 := 2 * i * t
-			j2 := j1 + t
-			w := tbl.psiPows[m+i]
-			wPre := tbl.psiPowsPre[m+i]
-			for j := j1; j < j2; j++ {
-				u := a[j]
-				v := modular.MulShoup(a[j+t], w, wPre, q)
-				a[j] = modular.Add(u, v, q)
-				a[j+t] = modular.Sub(u, v, q)
-			}
-		}
-	}
-}
-
-// nttInverse runs the Gentleman-Sande inverse, including the 1/n scaling
-// and the psi^-1 twist (negacyclic).
-func (c *Context) nttInverse(a []uint64, tbl *nttTable) {
-	n := c.N
-	q := tbl.q
-	t := 1
-	for m := n; m > 1; m >>= 1 {
-		j1 := 0
-		h := m >> 1
-		for i := 0; i < h; i++ {
-			j2 := j1 + t
-			w := tbl.ipsiPows[h+i]
-			wPre := tbl.ipsiPowsPre[h+i]
-			for j := j1; j < j2; j++ {
-				u := a[j]
-				v := a[j+t]
-				a[j] = modular.Add(u, v, q)
-				a[j+t] = modular.MulShoup(modular.Sub(u, v, q), w, wPre, q)
-			}
-			j1 += 2 * t
-		}
-		t <<= 1
-	}
-	for j := 0; j < n; j++ {
-		a[j] = modular.MulShoup(a[j], tbl.nInv, tbl.nInvPre, q)
-	}
 }
 
 // ComposeCRT returns coefficient i of p (which must be in coefficient

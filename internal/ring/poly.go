@@ -74,11 +74,8 @@ func (c *Context) checkSameDomain(op string, ps ...*Poly) {
 // Add sets out = a + b (component-wise, any domain, but both the same).
 func (c *Context) Add(a, b, out *Poly) {
 	c.checkSameDomain("Add", a, b)
-	for j, q := range c.Moduli {
-		aj, bj, oj := a.Coeffs[j], b.Coeffs[j], out.Coeffs[j]
-		for i := range oj {
-			oj[i] = modular.Add(aj[i], bj[i], q)
-		}
+	for j := range c.Moduli {
+		c.backend.AddVec(j, a.Coeffs[j], b.Coeffs[j], out.Coeffs[j])
 	}
 	out.InNTT = a.InNTT
 }
@@ -86,22 +83,16 @@ func (c *Context) Add(a, b, out *Poly) {
 // Sub sets out = a - b.
 func (c *Context) Sub(a, b, out *Poly) {
 	c.checkSameDomain("Sub", a, b)
-	for j, q := range c.Moduli {
-		aj, bj, oj := a.Coeffs[j], b.Coeffs[j], out.Coeffs[j]
-		for i := range oj {
-			oj[i] = modular.Sub(aj[i], bj[i], q)
-		}
+	for j := range c.Moduli {
+		c.backend.SubVec(j, a.Coeffs[j], b.Coeffs[j], out.Coeffs[j])
 	}
 	out.InNTT = a.InNTT
 }
 
 // Neg sets out = -a.
 func (c *Context) Neg(a, out *Poly) {
-	for j, q := range c.Moduli {
-		aj, oj := a.Coeffs[j], out.Coeffs[j]
-		for i := range oj {
-			oj[i] = modular.Neg(aj[i], q)
-		}
+	for j := range c.Moduli {
+		c.backend.NegVec(j, a.Coeffs[j], out.Coeffs[j])
 	}
 	out.InNTT = a.InNTT
 }
@@ -110,11 +101,8 @@ func (c *Context) Neg(a, out *Poly) {
 // multiplication both operands must be in the NTT domain.
 func (c *Context) MulCoeffwise(a, b, out *Poly) {
 	c.checkSameDomain("MulCoeffwise", a, b)
-	for j, q := range c.Moduli {
-		aj, bj, oj := a.Coeffs[j], b.Coeffs[j], out.Coeffs[j]
-		for i := range oj {
-			oj[i] = modular.Mul(aj[i], bj[i], q)
-		}
+	for j := range c.Moduli {
+		c.backend.MulVec(j, a.Coeffs[j], b.Coeffs[j], out.Coeffs[j])
 	}
 	out.InNTT = a.InNTT
 }
@@ -134,11 +122,7 @@ func (c *Context) MulPoly(a, b, out *Poly) {
 // MulScalar sets out = s * a for a scalar s (reduced per modulus).
 func (c *Context) MulScalar(a *Poly, s uint64, out *Poly) {
 	for j, q := range c.Moduli {
-		sj := s % q
-		aj, oj := a.Coeffs[j], out.Coeffs[j]
-		for i := range oj {
-			oj[i] = modular.Mul(aj[i], sj, q)
-		}
+		c.backend.MulScalarVec(j, a.Coeffs[j], s%q, out.Coeffs[j])
 	}
 	out.InNTT = a.InNTT
 }

@@ -1,0 +1,87 @@
+package service
+
+// Ladder parameter sets through the service: a campaign that names a
+// parameter set must complete end-to-end through the daemon, attack the
+// larger ring (2x more coefficients per trace at n=2048), and get its own
+// template-cache entry (the profiled modulus is part of the cache key).
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"reveal/internal/jobs"
+)
+
+func TestCampaignWithLadderParamSet(t *testing.T) {
+	_, client := newTestService(t, Config{PoolWorkers: 1, CacheCapacity: 4})
+	ctx := context.Background()
+	spec := &CampaignSpec{
+		Kind:                  KindAttack,
+		Seed:                  33,
+		ParamSet:              "n2048",
+		ProfileTracesPerValue: 8,
+		Encryptions:           1,
+		Workers:               2,
+	}
+	st, err := client.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCtx, cancel := context.WithTimeout(ctx, 300*time.Second)
+	defer cancel()
+	done, err := client.WaitDone(waitCtx, st.ID, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != jobs.StateDone {
+		t.Fatalf("n2048 campaign ended %s: %s", done.State, done.Error)
+	}
+	var got AttackCampaignResult
+	if err := client.Result(ctx, st.ID, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Coefficients != 2*2048 {
+		t.Fatalf("coefficients = %d, want %d (two error polys at n=2048)", got.Coefficients, 2*2048)
+	}
+	if got.SignAcc < 0.5 {
+		t.Errorf("sign accuracy %.3f implausibly low for the wide modulus", got.SignAcc)
+	}
+
+	// The paper-parameter campaign must NOT share a template cache entry
+	// with the ladder campaign: the profiled modulus is in the key.
+	base := testAttackSpec()
+	stBase, err := client.Submit(ctx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doneBase, err := client.WaitDone(waitCtx, stBase.ID, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doneBase.State != jobs.StateDone {
+		t.Fatalf("paper campaign ended %s: %s", doneBase.State, doneBase.Error)
+	}
+	var baseRes AttackCampaignResult
+	if err := client.Result(ctx, stBase.ID, &baseRes); err != nil {
+		t.Fatal(err)
+	}
+	if baseRes.TemplateKey == got.TemplateKey {
+		t.Fatalf("paper and n2048 campaigns share template key %s", got.TemplateKey)
+	}
+}
+
+func TestSpecParamSetValidation(t *testing.T) {
+	for _, name := range []string{"", "paper", "n1024", "n2048", "n4096", "n8192"} {
+		s := &CampaignSpec{Kind: KindAttack, ParamSet: name}
+		if err := s.Normalize(); err != nil {
+			t.Fatalf("Normalize rejected param_set %q: %v", name, err)
+		}
+	}
+	for _, name := range []string{"n512", "bogus", "n8192x"} {
+		s := &CampaignSpec{Kind: KindAttack, ParamSet: name}
+		if err := s.Normalize(); err == nil {
+			t.Fatalf("Normalize accepted param_set %q", name)
+		}
+	}
+}

@@ -276,7 +276,10 @@ func (r *Runner) runAttack(ctx context.Context, spec *CampaignSpec) (*AttackCamp
 	} else {
 		attackDev = core.NewDevice(spec.Seed ^ attackDeviceSalt)
 	}
-	params := bfv.PaperParameters()
+	params, err := spec.params()
+	if err != nil {
+		return nil, err
+	}
 	prng := sampler.NewXoshiro256(spec.Seed ^ 0xABCD)
 	kg := bfv.NewKeyGenerator(params, prng)
 	sk := kg.GenSecretKey()

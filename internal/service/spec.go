@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"reveal/internal/bfv"
 	"reveal/internal/core"
 )
 
@@ -39,6 +40,11 @@ type CampaignSpec struct {
 	// LowNoise selects the favourable measurement setup (and the richer
 	// high-accuracy profiling campaign).
 	LowNoise bool `json:"low_noise"`
+	// ParamSet names the SEAL parameter set to attack: "" or "paper" or
+	// "n1024" for the paper's legacy configuration, "n2048"/"n4096"/"n8192"
+	// for the ladder sets. Larger degrees attack more coefficients per
+	// trace and select the matching coefficient-modulus chain.
+	ParamSet string `json:"param_set,omitempty"`
 	// ProfileTracesPerValue overrides the profiling campaign scale
 	// (0 keeps the device default).
 	ProfileTracesPerValue int `json:"profile_traces_per_value,omitempty"`
@@ -92,7 +98,15 @@ func (s *CampaignSpec) Normalize() error {
 	if len(s.Tenant) > 64 {
 		return fmt.Errorf("service: tenant %q exceeds 64 characters", s.Tenant)
 	}
+	if _, err := bfv.ResolveParamSet(s.ParamSet); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
 	return nil
+}
+
+// params resolves the spec's named parameter set (validated by Normalize).
+func (s *CampaignSpec) params() (*bfv.Parameters, error) {
+	return bfv.ResolveParamSet(s.ParamSet)
 }
 
 // Timeout returns the job deadline duration (0 = none).
@@ -119,6 +133,11 @@ func (s *CampaignSpec) deviceAndOptions() (*core.Device, core.ProfileOptions) {
 	}
 	if s.ProfileTracesPerValue > 0 {
 		popts.TracesPerValue = s.ProfileTracesPerValue
+	}
+	// The profiled modulus follows the spec's parameter set, so template
+	// cache keys (which hash the profile options) separate per ladder rung.
+	if params, err := s.params(); err == nil {
+		popts.Q = params.Moduli[0]
 	}
 	return dev, popts
 }

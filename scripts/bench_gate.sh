@@ -21,7 +21,7 @@ set -eu
 
 snap_dir="${1:-bench_snapshots/current}"
 base_dir="${2:-bench_snapshots}"
-pattern="${BENCH_PATTERN:-BenchmarkTable1TemplateAttack|BenchmarkClassifyStage|BenchmarkSegmentStage|BenchmarkDeviceCapture|BenchmarkParallelClassification|BenchmarkHistoryAppend|BenchmarkHistoryQuery|BenchmarkLoadgen}"
+pattern="${BENCH_PATTERN:-BenchmarkTable1TemplateAttack|BenchmarkClassifyStage|BenchmarkSegmentStage|BenchmarkDeviceCapture|BenchmarkParallelClassification|BenchmarkHistoryAppend|BenchmarkHistoryQuery|BenchmarkLoadgen|BenchmarkNTT\$|BenchmarkNTTReference\$|BenchmarkRNSMul\$|BenchmarkTracegen\$}"
 bench_time="${BENCH_TIME:-1x}"
 bench_count="${BENCH_COUNT:-3}"
 tol="${BENCH_TOL:-0.05}"
