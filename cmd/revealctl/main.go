@@ -6,7 +6,7 @@
 //
 //	revealctl table1 [-profile N] [-encryptions N] [-seed S] [-json]
 //	revealctl table2 [-seed S] [-json]
-//	revealctl attack [-seed S] [-messages N]
+//	revealctl attack [-seed S] [-messages N] [-stream [-target-bikz B] [-chunk N]]
 //	revealctl profile [-o FILE] [-seed S]
 //	revealctl diagnose [-seed S] [-traces N] [-curves] [-json]
 //	revealctl compare [-tol T] [-metric-tol name=T] [-gate-perf] OLD NEW
@@ -85,6 +85,7 @@ commands:
   table1   reproduce Table I (template-attack confusion matrix)
   table2   reproduce Table II (per-measurement guessing probabilities)
   attack   end-to-end single-trace attack with full message recovery
+           (-stream: chunked streaming engine with batch digest cross-check)
   profile  run the profiling campaign and save the trained classifier
   diagnose leakage assessment: SNR, t-tests, POI overlap, template health
   compare  diff two manifest.json/BENCH_*.json files; exit 1 on regression
@@ -195,6 +196,9 @@ func runAttack(args []string) error {
 	seed := fs.Uint64("seed", 1, "experiment seed")
 	messages := fs.Int("messages", 2, "number of messages to encrypt and recover")
 	profilePath := fs.String("profile", "", "load a classifier saved by 'revealctl profile' instead of re-profiling")
+	stream := fs.Bool("stream", false, "classify each e2 trace through the streaming engine (chunked ingest) and cross-check its digest against the batch attack")
+	targetBikz := fs.Float64("target-bikz", 0, "with -stream: stop ingesting once the banked hints push the DBDD estimate to this block size (0 = consume the full trace)")
+	chunk := fs.Int("chunk", 4096, "with -stream: ingest chunk size in samples")
 	ofl := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -228,6 +232,9 @@ func runAttack(args []string) error {
 		}
 		s.Classifier = cls
 		fmt.Printf("loaded classifier from %s\n", *profilePath)
+	}
+	if *stream {
+		return runAttackStream(camp, s, *messages, *targetBikz, *chunk)
 	}
 	recovered := 0
 	var sumVAcc, sumSAcc float64

@@ -34,7 +34,7 @@ func parseSubmitArgs(args []string, stdin io.Reader, stderr io.Writer) (*submitC
 	cfg := &submitConfig{}
 	fs.StringVar(&cfg.Addr, "addr", "http://127.0.0.1:9090", "reveald base URL")
 	specPath := fs.String("spec", "", "campaign spec JSON file (- for stdin); inline flags below are ignored when set")
-	kind := fs.String("kind", "attack", "campaign kind: attack, diagnose, sleep")
+	kind := fs.String("kind", "attack", "campaign kind: attack, diagnose, sleep, stream")
 	seed := fs.Uint64("seed", 1, "campaign seed")
 	lowNoise := fs.Bool("lownoise", false, "use the low-noise measurement setup")
 	paramSet := fs.String("param-set", "", "SEAL parameter set: paper/n1024 (default), n2048, n4096, n8192")
@@ -44,6 +44,9 @@ func parseSubmitArgs(args []string, stdin io.Reader, stderr io.Writer) (*submitC
 	attempts := fs.Int("attempts", 0, "job attempt budget (0 = daemon default)")
 	timeout := fs.Duration("timeout", 0, "job deadline covering queue wait and retries (0 = none)")
 	tenant := fs.String("tenant", "", "tenant identity recorded on the job (per-tenant metrics)")
+	targetBikz := fs.Float64("target-bikz", 0, "stream kind: stop each trace once the banked hints reach this block size (0 = full trace)")
+	chunkSamples := fs.Int("chunk-samples", 0, "stream kind: RVTS replay chunk size in samples (0 = daemon default)")
+	verifyBatch := fs.Bool("verify-batch", false, "stream kind: also run the batch attack and record digest equality")
 	fs.BoolVar(&cfg.Wait, "wait", false, "poll until the campaign finishes and print its result")
 	fs.DurationVar(&cfg.Poll, "poll", 500*time.Millisecond, "poll interval with -wait")
 	fs.IntVar(&cfg.Retry, "retry", 3, "transient connection-error retries with exponential backoff (0 = fail fast)")
@@ -78,6 +81,9 @@ func parseSubmitArgs(args []string, stdin io.Reader, stderr io.Writer) (*submitC
 			MaxAttempts:           *attempts,
 			TimeoutMS:             int(timeout.Milliseconds()),
 			Tenant:                *tenant,
+			TargetBikz:            *targetBikz,
+			ChunkSamples:          *chunkSamples,
+			VerifyBatch:           *verifyBatch,
 		}
 	}
 	if err := cfg.Spec.Normalize(); err != nil {

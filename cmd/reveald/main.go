@@ -5,6 +5,12 @@
 // pool, and caches trained templates so repeated campaigns against the same
 // device configuration skip profiling.
 //
+// Campaign kinds: "attack" (batch single-trace attacks), "stream" (the
+// streaming engine: each trace replayed chunk by chunk through the RVTS
+// wire format, coefficients classified as their segments close, optional
+// early exit on a target bikz, optional batch digest cross-check),
+// "diagnose" (leakage assessment), and "sleep" (testing aid).
+//
 // Usage:
 //
 //	reveald [-role all|coordinator|worker] [-addr :9090] [-workers N]

@@ -1,0 +1,249 @@
+package core
+
+// Streaming attack engine: byte-equality with the batch path over complete
+// traces (the determinism contract), early exit on a target bikz before
+// the trace is fully consumed, and chunk-size independence of the banked
+// prefix (same prefix ⇒ same hints, whatever the chunking).
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"reveal/internal/bfv"
+	"reveal/internal/sampler"
+	"reveal/internal/trace"
+)
+
+var streamFixtureOnce sync.Once
+var streamFixture struct {
+	params *bfv.Parameters
+	cls    *CoefficientClassifier
+	cap    *EncryptionCapture
+	err    error
+}
+
+// streamTestFixture profiles a small deterministic device once and
+// captures one encryption for every streaming test to attack. n = 128
+// rather than the selftest's 64 so the baseline bikz (≈37) sits well
+// above the estimator's floor and hints produce a measurable drop the
+// early-exit tests can aim between.
+func streamTestFixture(t *testing.T) (*bfv.Parameters, *CoefficientClassifier, *EncryptionCapture) {
+	t.Helper()
+	streamFixtureOnce.Do(func() {
+		params, err := bfv.NewParameters(128, []uint64{12289}, 16,
+			sampler.DefaultSigma, sampler.DefaultMaxDeviation)
+		if err != nil {
+			streamFixture.err = err
+			return
+		}
+		dev := NewDevice(7)
+		opts := DefaultProfileOptions()
+		opts.Q = params.Moduli[0]
+		opts.TracesPerValue = 60
+		opts.Templates.POICount = 24
+		opts.Templates.MinSpacing = 1
+		cls, err := Profile(dev, opts)
+		if err != nil {
+			streamFixture.err = err
+			return
+		}
+		prng := sampler.NewXoshiro256(7 ^ 0x9E3779B97F4A7C15)
+		kg := bfv.NewKeyGenerator(params, prng)
+		sk := kg.GenSecretKey()
+		pk := kg.GenPublicKey(sk)
+		enc := bfv.NewEncryptor(params, pk, prng)
+		pt := params.NewPlaintext()
+		for i := range pt.Coeffs {
+			pt.Coeffs[i] = sampler.Uint64Below(prng, params.T)
+		}
+		cap, err := CaptureEncryption(dev, params, enc, pt)
+		if err != nil {
+			streamFixture.err = err
+			return
+		}
+		streamFixture.params, streamFixture.cls, streamFixture.cap = params, cls, cap
+	})
+	if streamFixture.err != nil {
+		t.Fatalf("stream fixture: %v", streamFixture.err)
+	}
+	return streamFixture.params, streamFixture.cls, streamFixture.cap
+}
+
+// batchE2 runs the batch path on the capture's e2 trace: segment n+1 peaks
+// (sentinel included), classify the first n — exactly what AttackCtx does
+// per polynomial.
+func batchE2(t *testing.T, params *bfv.Parameters, cls *CoefficientClassifier, cap *EncryptionCapture) *AttackResult {
+	t.Helper()
+	sg := trace.NewSegmenter(params.N + 1)
+	segs, err := sg.Segment(cap.TraceE2, params.N+1, 8)
+	if err != nil {
+		t.Fatalf("batch segmentation: %v", err)
+	}
+	res, err := cls.AttackSegments(segs[:params.N])
+	if err != nil {
+		t.Fatalf("batch attack: %v", err)
+	}
+	return res
+}
+
+// streamE2 runs the streaming path over the e2 trace in fixed-size chunks,
+// stopping the feed as soon as the attack early-exits.
+func streamE2(t *testing.T, cls *CoefficientClassifier, opts StreamAttackOptions, tr trace.Trace, chunk int) (*AttackResult, *StreamVerdict) {
+	t.Helper()
+	sa, err := NewStreamAttack(cls, opts)
+	if err != nil {
+		t.Fatalf("NewStreamAttack: %v", err)
+	}
+	for off := 0; off < len(tr) && !sa.EarlyExited(); off += chunk {
+		end := off + chunk
+		if end > len(tr) {
+			end = len(tr)
+		}
+		if err := sa.Feed(tr[off:end]); err != nil {
+			t.Fatalf("Feed at %d: %v", off, err)
+		}
+	}
+	res, verdict, err := sa.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return res, verdict
+}
+
+func assertResultsBitIdentical(t *testing.T, want, got *AttackResult) {
+	t.Helper()
+	if len(got.Values) != len(want.Values) {
+		t.Fatalf("classified %d coefficients, want %d", len(got.Values), len(want.Values))
+	}
+	for i := range want.Values {
+		if got.Values[i] != want.Values[i] || got.Signs[i] != want.Signs[i] {
+			t.Fatalf("coefficient %d: value/sign %d/%d, want %d/%d",
+				i, got.Values[i], got.Signs[i], want.Values[i], want.Signs[i])
+		}
+		if len(got.Probs[i]) != len(want.Probs[i]) {
+			t.Fatalf("coefficient %d: %d posterior entries, want %d",
+				i, len(got.Probs[i]), len(want.Probs[i]))
+		}
+		for v, p := range want.Probs[i] {
+			q, ok := got.Probs[i][v]
+			if !ok || math.Float64bits(p) != math.Float64bits(q) {
+				t.Fatalf("coefficient %d: P(%d) = %x, want %x (Float64bits)",
+					i, v, math.Float64bits(q), math.Float64bits(p))
+			}
+		}
+	}
+	wd, err := want.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gd, err := got.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wd != gd {
+		t.Fatalf("digests differ despite bit-identical fields: %s vs %s", wd, gd)
+	}
+}
+
+func TestStreamAttackMatchesBatchByteForByte(t *testing.T) {
+	params, cls, cap := streamTestFixture(t)
+	want := batchE2(t, params, cls, cap)
+	for _, chunk := range []int{33, 256, 4096, len(cap.TraceE2) + 1} {
+		got, verdict := streamE2(t, cls, StreamAttackOptions{Coefficients: params.N}, cap.TraceE2, chunk)
+		assertResultsBitIdentical(t, want, got)
+		if verdict.EarlyExit {
+			t.Fatalf("chunk %d: early exit without a target bikz", chunk)
+		}
+		if verdict.Classified != params.N {
+			t.Fatalf("chunk %d: classified %d, want %d", chunk, verdict.Classified, params.N)
+		}
+		if verdict.SamplesIngested != len(cap.TraceE2) {
+			t.Fatalf("chunk %d: ingested %d samples, want %d", chunk, verdict.SamplesIngested, len(cap.TraceE2))
+		}
+		if verdict.MarginCount != params.N {
+			t.Fatalf("chunk %d: banked %d margins, want %d", chunk, verdict.MarginCount, params.N)
+		}
+	}
+}
+
+// streamEarlyExitTarget picks a target bikz halfway between the baseline
+// and the full-hint estimate, so the stream must exit strictly inside the
+// trace.
+func streamEarlyExitTarget(t *testing.T, params *bfv.Parameters, full *AttackResult) float64 {
+	t.Helper()
+	loss, err := EstimateFullHints(params, full)
+	if err != nil {
+		t.Fatalf("full-hint estimate: %v", err)
+	}
+	if loss.HintedBikz >= loss.BaselineBikz {
+		t.Fatalf("hints did not reduce bikz (%.2f vs %.2f) — fixture too noisy",
+			loss.HintedBikz, loss.BaselineBikz)
+	}
+	return (loss.BaselineBikz + loss.HintedBikz) / 2
+}
+
+func TestStreamAttackEarlyExitStopsBeforeTraceEnd(t *testing.T) {
+	params, cls, cap := streamTestFixture(t)
+	full := batchE2(t, params, cls, cap)
+	target := streamEarlyExitTarget(t, params, full)
+	opts := StreamAttackOptions{Coefficients: params.N, TargetBikz: target, Params: params}
+	got, verdict := streamE2(t, cls, opts, cap.TraceE2, 256)
+	if !verdict.EarlyExit {
+		t.Fatalf("no early exit at target %.2f (hinted %.2f)", target, verdict.HintedBikz)
+	}
+	if verdict.Classified >= params.N {
+		t.Fatalf("early exit classified all %d coefficients", verdict.Classified)
+	}
+	if verdict.SamplesIngested >= len(cap.TraceE2) {
+		t.Fatalf("early exit consumed the whole trace (%d samples)", verdict.SamplesIngested)
+	}
+	if verdict.HintedBikz > target || verdict.HintedBikz <= 0 {
+		t.Fatalf("verdict bikz %.2f not at or below target %.2f", verdict.HintedBikz, target)
+	}
+	if verdict.BaselineBikz <= target {
+		t.Fatalf("baseline %.2f not above target %.2f", verdict.BaselineBikz, target)
+	}
+	// The banked prefix is exactly the batch result's prefix.
+	assertResultsBitIdentical(t, full.Prefix(verdict.Classified), got)
+}
+
+func TestStreamAttackEarlyExitDeterministicAcrossChunkSizes(t *testing.T) {
+	params, cls, cap := streamTestFixture(t)
+	full := batchE2(t, params, cls, cap)
+	target := streamEarlyExitTarget(t, params, full)
+	opts := StreamAttackOptions{Coefficients: params.N, TargetBikz: target, Params: params}
+	var refClassified int
+	var refDigest string
+	for i, chunk := range []int{64, 301, 1024, len(cap.TraceE2)} {
+		got, verdict := streamE2(t, cls, opts, cap.TraceE2, chunk)
+		digest, err := got.Digest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			refClassified, refDigest = verdict.Classified, digest
+			continue
+		}
+		if verdict.Classified != refClassified {
+			t.Fatalf("chunk %d: exit after %d coefficients, chunk 64 exited after %d",
+				chunk, verdict.Classified, refClassified)
+		}
+		if digest != refDigest {
+			t.Fatalf("chunk %d: banked prefix digest differs", chunk)
+		}
+	}
+}
+
+func TestStreamAttackValidation(t *testing.T) {
+	params, cls, _ := streamTestFixture(t)
+	if _, err := NewStreamAttack(cls, StreamAttackOptions{Coefficients: 0}); err == nil {
+		t.Fatal("zero coefficients accepted")
+	}
+	if _, err := NewStreamAttack(cls, StreamAttackOptions{Coefficients: params.N, TargetBikz: 10}); err == nil {
+		t.Fatal("target bikz without params accepted")
+	}
+	if _, err := NewStreamAttack(cls, StreamAttackOptions{Coefficients: params.N, TargetBikz: 1e9, Params: params}); err == nil {
+		t.Fatal("target bikz above baseline accepted")
+	}
+}

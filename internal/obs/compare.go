@@ -155,9 +155,14 @@ func metricDirection(name string) (dir string, perf bool) {
 		base = name[i+1:]
 	}
 	switch {
-	case base == "ns_per_op" || base == "duration_seconds" || strings.HasSuffix(base, "_seconds"):
+	case base == "ns_per_op" || base == "duration_seconds" ||
+		strings.HasSuffix(base, "_seconds") || strings.HasSuffix(base, "_ns"):
+		// *_ns covers latency metrics reported in nanoseconds
+		// (time_to_first_hint_ns and friends).
 		return "lower_better", true
-	case base == "items_per_second":
+	case base == "items_per_second" || strings.HasSuffix(base, "_per_second"):
+		// *_per_second covers throughput metrics (traces_per_second,
+		// mb_ingest_per_second).
 		return "higher_better", true
 	case strings.Contains(base, "accuracy") || strings.Contains(base, "-acc-") ||
 		strings.Contains(base, "recovered") ||

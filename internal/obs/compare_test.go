@@ -237,9 +237,19 @@ func TestMetricDirectionBenchAccuracy(t *testing.T) {
 		"results.mean_value_accuracy": "higher_better",
 		"ns_per_op":                   "lower_better",
 		"stage.attack.items":          "informational",
+		// Streaming benchmark metrics: nanosecond latencies gate downward,
+		// throughput rates gate upward — both as perf (machine-dependent).
+		"metrics.time_to_first_hint_ns": "lower_better",
+		"metrics.traces_per_second":     "higher_better",
+		"metrics.mb_ingest_per_second":  "higher_better",
 	} {
 		if dir, _ := metricDirection(name); dir != want {
 			t.Errorf("metricDirection(%q) = %s, want %s", name, dir, want)
+		}
+	}
+	for _, name := range []string{"metrics.time_to_first_hint_ns", "metrics.traces_per_second"} {
+		if _, perf := metricDirection(name); !perf {
+			t.Errorf("metricDirection(%q) must be perf-gated", name)
 		}
 	}
 	a := &RunMetrics{Values: map[string]float64{"metrics.value-acc-%": 68.2}}

@@ -1,0 +1,30 @@
+package sca
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTopMargin(t *testing.T) {
+	cases := []struct {
+		name   string
+		probs  map[int]float64
+		margin float64
+		ok     bool
+	}{
+		{"empty", nil, 0, false},
+		{"single", map[int]float64{3: 0.9}, 0.9, true},
+		{"two", map[int]float64{-1: 0.7, 2: 0.2}, 0.5, true},
+		{"many", map[int]float64{0: 0.5, 1: 0.3, 2: 0.15, 3: 0.05}, 0.2, true},
+		{"tied", map[int]float64{0: 0.4, 1: 0.4, 2: 0.2}, 0, true},
+	}
+	for _, tc := range cases {
+		m, ok := TopMargin(tc.probs)
+		if ok != tc.ok {
+			t.Errorf("%s: ok = %v, want %v", tc.name, ok, tc.ok)
+		}
+		if math.Abs(m-tc.margin) > 1e-12 {
+			t.Errorf("%s: margin = %v, want %v", tc.name, m, tc.margin)
+		}
+	}
+}

@@ -178,6 +178,8 @@ func (s *Server) recordFabricResult(st jobs.Status, result any) {
 		seed = res.Seed
 	case *DiagnoseCampaignResult:
 		seed = res.Seed
+	case *StreamCampaignResult:
+		seed = res.Seed
 	}
 	rec := qualityRunRecord(st.ID, st.TraceID, st.Kind, st.Tenant, seed,
 		st.RunSeconds, st.QueueWaitSeconds, result)
@@ -257,6 +259,8 @@ func decodeResultByKind(kind string, raw json.RawMessage) any {
 		typed = new(DiagnoseCampaignResult)
 	case KindSleep:
 		typed = new(SleepCampaignResult)
+	case KindStream:
+		typed = new(StreamCampaignResult)
 	}
 	if typed != nil && json.Unmarshal(raw, typed) == nil {
 		return typed
@@ -298,6 +302,21 @@ func qualityRunRecord(jobID, traceID, kind, tenant string, seed uint64,
 		}
 		rec.Stages["profile_seconds"] = res.ProfileSeconds
 		rec.Stages["attack_seconds"] = res.AttackSeconds
+	case *StreamCampaignResult:
+		rec.Metrics["value_accuracy"] = res.ValueAcc
+		rec.Metrics["sign_accuracy"] = res.SignAcc
+		rec.Metrics["mean_margin"] = res.MeanMargin
+		rec.Metrics["ingest_bytes"] = float64(res.IngestBytes)
+		rec.Metrics["ttfh_seconds"] = res.MeanTTFHSeconds
+		rec.Metrics["ttv_seconds"] = res.MeanTTVSeconds
+		if res.CoefficientsTotal > 0 {
+			rec.Metrics["classified_ratio"] = float64(res.ClassifiedTotal) / float64(res.CoefficientsTotal)
+		}
+		if res.HintedBikz > 0 {
+			rec.Metrics["hinted_bikz"] = res.HintedBikz
+		}
+		rec.Stages["profile_seconds"] = res.ProfileSeconds
+		rec.Stages["stream_seconds"] = res.StreamSeconds
 	case *DiagnoseCampaignResult:
 		if rep := res.Report; rep != nil {
 			var snrMax, tvlaMax float64

@@ -126,6 +126,8 @@ func (r *Runner) Run(ctx context.Context, job *jobs.Job) (any, error) {
 		result, err = r.runDiagnose(ctx, spec)
 	case KindSleep:
 		result, err = runSleep(ctx, spec, job.Attempts)
+	case KindStream:
+		result, err = r.runStream(ctx, spec)
 	default:
 		return nil, fmt.Errorf("service: unknown campaign kind %q", spec.Kind)
 	}
@@ -182,19 +184,10 @@ func appendRunRecord(store *history.Store, wd *history.Watchdog, lg *slog.Logger
 // coefficient's probability table.
 func sumTopMargins(probs []map[int]float64) (sum float64, n int) {
 	for _, table := range probs {
-		if len(table) == 0 {
-			continue
+		if m, ok := sca.TopMargin(table); ok {
+			sum += m
+			n++
 		}
-		var top1, top2 float64
-		for _, p := range table {
-			if p > top1 {
-				top1, top2 = p, top1
-			} else if p > top2 {
-				top2 = p
-			}
-		}
-		sum += top1 - top2
-		n++
 	}
 	return sum, n
 }

@@ -27,6 +27,12 @@ const (
 	// milliseconds (honoring cancellation) and optionally fails its first
 	// FailAttempts attempts to exercise the retry machinery end to end.
 	KindSleep = "sleep"
+	// KindStream runs the attack through the streaming engine: each
+	// captured trace is serialized to the RVTS wire format and replayed in
+	// chunks through core.StreamAttack, classifying every coefficient the
+	// moment its segment closes and — with a target bikz — stopping as
+	// soon as the banked hints reach it.
+	KindStream = "stream"
 )
 
 // CampaignSpec is the submission payload of POST /api/v1/campaigns.
@@ -73,6 +79,17 @@ type CampaignSpec struct {
 	// SleepMS and FailAttempts configure the "sleep" testing kind.
 	SleepMS      int `json:"sleep_ms,omitempty"`
 	FailAttempts int `json:"fail_attempts,omitempty"`
+
+	// TargetBikz, ChunkSamples and VerifyBatch configure the "stream" kind.
+	// TargetBikz > 0 arms early exit: the stream stops ingesting the moment
+	// the banked hints push the DBDD estimate to (or below) the target.
+	TargetBikz float64 `json:"target_bikz,omitempty"`
+	// ChunkSamples is the replay chunk size in samples (0 means 4096).
+	ChunkSamples int `json:"chunk_samples,omitempty"`
+	// VerifyBatch additionally runs the batch attack on each full trace and
+	// records whether the stream digest matches the batch digest — the
+	// determinism contract, checked end to end.
+	VerifyBatch bool `json:"verify_batch,omitempty"`
 }
 
 // Normalize fills defaults and validates the spec.
@@ -81,19 +98,23 @@ func (s *CampaignSpec) Normalize() error {
 		s.Kind = KindAttack
 	}
 	switch s.Kind {
-	case KindAttack, KindDiagnose, KindSleep:
+	case KindAttack, KindDiagnose, KindSleep, KindStream:
 	default:
 		return fmt.Errorf("service: unknown campaign kind %q", s.Kind)
 	}
-	if s.Kind == KindAttack && s.Encryptions <= 0 {
+	if (s.Kind == KindAttack || s.Kind == KindStream) && s.Encryptions <= 0 {
 		s.Encryptions = 1
 	}
 	if s.Encryptions > 1000 {
 		return fmt.Errorf("service: encryptions %d exceeds the per-campaign limit of 1000", s.Encryptions)
 	}
 	if s.ProfileTracesPerValue < 0 || s.Workers < 0 || s.MaxAttempts < 0 ||
-		s.TimeoutMS < 0 || s.SleepMS < 0 || s.FailAttempts < 0 {
+		s.TimeoutMS < 0 || s.SleepMS < 0 || s.FailAttempts < 0 ||
+		s.ChunkSamples < 0 || s.TargetBikz < 0 {
 		return fmt.Errorf("service: negative values are not allowed in a campaign spec")
+	}
+	if s.Kind != KindStream && (s.TargetBikz != 0 || s.ChunkSamples != 0 || s.VerifyBatch) {
+		return fmt.Errorf("service: target_bikz/chunk_samples/verify_batch apply only to %q campaigns", KindStream)
 	}
 	if len(s.Tenant) > 64 {
 		return fmt.Errorf("service: tenant %q exceeds 64 characters", s.Tenant)

@@ -1,0 +1,125 @@
+package service
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"reveal/internal/bfv"
+	"reveal/internal/core"
+	"reveal/internal/jobs"
+)
+
+// TestEndToEndStreamCampaign drives the stream kind through the full
+// service path twice against one template cache: first with batch
+// verification (the determinism contract end to end — stream digest must
+// match the batch digest, no early exit), then with a target bikz armed
+// (must exit before classifying the full polynomial).
+func TestEndToEndStreamCampaign(t *testing.T) {
+	_, client := newTestService(t, Config{PoolWorkers: 1, CacheCapacity: 2})
+	ctx := context.Background()
+
+	submit := func(spec *CampaignSpec) *StreamCampaignResult {
+		t.Helper()
+		st, err := client.Submit(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitCtx, cancel := context.WithTimeout(ctx, 180*time.Second)
+		defer cancel()
+		done, err := client.WaitDone(waitCtx, st.ID, 50*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done.State != jobs.StateDone {
+			t.Fatalf("campaign ended %s: %s", done.State, done.Error)
+		}
+		var got StreamCampaignResult
+		if err := client.Result(ctx, st.ID, &got); err != nil {
+			t.Fatal(err)
+		}
+		return &got
+	}
+
+	full := submit(&CampaignSpec{
+		Kind: KindStream, Seed: 21, ProfileTracesPerValue: 8,
+		VerifyBatch: true, ChunkSamples: 2048,
+	})
+	if !full.DigestsMatch {
+		t.Error("stream digest does not match the batch digest")
+	}
+	if full.EarlyExitRuns != 0 {
+		t.Errorf("early exit fired without a target bikz (%d runs)", full.EarlyExitRuns)
+	}
+	if full.CoefficientsTotal != 1024 || full.ClassifiedTotal != 1024 {
+		t.Errorf("classified %d of %d coefficients, want 1024 of 1024",
+			full.ClassifiedTotal, full.CoefficientsTotal)
+	}
+	if full.IngestBytes <= 0 {
+		t.Error("no RVTS ingest bytes recorded")
+	}
+	if full.SignAcc < 0.9 {
+		t.Errorf("sign accuracy %.3f implausibly low", full.SignAcc)
+	}
+	if full.MeanTTVSeconds <= 0 || full.MeanTTFHSeconds <= 0 ||
+		full.MeanTTFHSeconds > full.MeanTTVSeconds {
+		t.Errorf("latencies out of order: ttfh %.6fs, ttv %.6fs",
+			full.MeanTTFHSeconds, full.MeanTTVSeconds)
+	}
+
+	// Aim between the baseline and the (far lower) full-hint estimate: a
+	// few percent below the baseline is reached after a fraction of the
+	// coefficients, so the stream must stop mid-trace.
+	inst, err := core.LWEInstanceForParams(bfv.PaperParameters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := inst.EstimateBikz()
+	if err != nil {
+		t.Fatal(err)
+	}
+	early := submit(&CampaignSpec{
+		Kind: KindStream, Seed: 21, ProfileTracesPerValue: 8,
+		TargetBikz: baseline * 0.95,
+	})
+	if !early.CacheHit {
+		t.Error("second campaign with the same profile must hit the template cache")
+	}
+	if early.EarlyExitRuns != 1 {
+		t.Fatalf("early_exit_runs = %d, want 1", early.EarlyExitRuns)
+	}
+	if early.ClassifiedTotal >= early.CoefficientsTotal {
+		t.Errorf("classified %d of %d coefficients despite early exit",
+			early.ClassifiedTotal, early.CoefficientsTotal)
+	}
+	if early.HintedBikz > baseline*0.95 || early.HintedBikz <= 0 {
+		t.Errorf("verdict bikz %.2f not at or below the target %.2f",
+			early.HintedBikz, baseline*0.95)
+	}
+	if early.IngestBytes >= full.IngestBytes {
+		t.Errorf("early exit ingested %d bytes, full run only %d",
+			early.IngestBytes, full.IngestBytes)
+	}
+}
+
+// TestStreamSpecValidation pins the stream-only field rules.
+func TestStreamSpecValidation(t *testing.T) {
+	s := &CampaignSpec{Kind: KindStream}
+	if err := s.Normalize(); err != nil {
+		t.Fatalf("minimal stream spec rejected: %v", err)
+	}
+	if s.Encryptions != 1 {
+		t.Errorf("stream encryptions default = %d, want 1", s.Encryptions)
+	}
+	for _, bad := range []*CampaignSpec{
+		{Kind: KindAttack, TargetBikz: 10},
+		{Kind: KindAttack, ChunkSamples: 64},
+		{Kind: KindSleep, VerifyBatch: true},
+		{Kind: KindStream, TargetBikz: -1},
+		{Kind: KindStream, ChunkSamples: -1},
+	} {
+		if err := bad.Normalize(); err == nil {
+			t.Errorf("spec %+v accepted, want error", bad)
+		}
+	}
+}

@@ -6,6 +6,8 @@ package trace_test
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"math"
 	"testing"
 
@@ -62,6 +64,122 @@ func FuzzReadSet(f *testing.F) {
 				b := math.Float64bits(again.Traces[i][j])
 				if a != b {
 					t.Fatalf("trace %d sample %d: %x -> %x", i, j, a, b)
+				}
+			}
+		}
+	})
+}
+
+// stingyReader returns at most k bytes per Read call, torturing every
+// io.ReadFull in the streaming decoder with short reads (k = 1 is the
+// pathological byte-at-a-time transport).
+type stingyReader struct {
+	r io.Reader
+	k int
+}
+
+func (s *stingyReader) Read(p []byte) (int, error) {
+	if len(p) > s.k {
+		p = p[:s.k]
+	}
+	return s.r.Read(p)
+}
+
+// FuzzStreamReader: chunk-boundary torture for the incremental RVTS
+// decoder. Whatever the chunk size and however stingy the transport, the
+// StreamReader must agree byte-for-byte with ReadSet — same accept/reject
+// decision, same labels, same sample bits — and every premature end of
+// payload must surface as the typed ErrTruncated.
+func FuzzStreamReader(f *testing.F) {
+	valid := validSetBytes(f)
+	f.Add(valid, 7, 64)
+	f.Add(valid, 1, 1)                              // 1-byte reads, 1-sample chunks
+	f.Add(valid[:len(valid)-5], 2, 3)               // truncated payload
+	f.Add(valid[:9], 1, 1)                          // truncated header
+	f.Add(valid[:17], 3, 2)                         // truncated label table
+	lying := append([]byte{}, valid[:8]...)         // magic + version
+	lying = append(lying, 2, 0, 0, 0, 255, 0, 0, 0) // claims 2×255 samples
+	lying = append(lying, valid[16:]...)            // ...over the short payload
+	f.Add(lying, 5, 16)
+	f.Add([]byte("RVTS"), 1, 4)
+	f.Fuzz(func(t *testing.T, data []byte, readLimit, chunk int) {
+		if readLimit < 1 {
+			readLimit = 1
+		}
+		if chunk < 1 {
+			chunk = 1
+		}
+		chunk %= 257
+		if chunk == 0 {
+			chunk = 256
+		}
+		refSet, refErr := trace.ReadSet(bytes.NewReader(data))
+
+		sr, err := trace.NewStreamReader(&stingyReader{r: bytes.NewReader(data), k: readLimit})
+		if err != nil {
+			if refErr == nil {
+				t.Fatalf("StreamReader rejected what ReadSet accepted: %v", err)
+			}
+			return
+		}
+		var (
+			traces  []trace.Trace
+			labels  []int
+			readErr error
+		)
+		dst := make(trace.Trace, chunk)
+		for {
+			_, label, err := sr.NextTrace()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				readErr = err
+				break
+			}
+			labels = append(labels, label)
+			var tr trace.Trace
+			for {
+				n, err := sr.ReadChunk(dst)
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					readErr = err
+					break
+				}
+				tr = append(tr, dst[:n]...)
+			}
+			if readErr != nil {
+				break
+			}
+			traces = append(traces, tr)
+		}
+		if readErr != nil {
+			if !errors.Is(readErr, trace.ErrTruncated) {
+				t.Fatalf("mid-stream failure is not ErrTruncated: %v", readErr)
+			}
+			if refErr == nil {
+				t.Fatalf("StreamReader failed (%v) on data ReadSet accepted", readErr)
+			}
+			return
+		}
+		if refErr != nil {
+			t.Fatalf("StreamReader accepted what ReadSet rejected: %v", refErr)
+		}
+		if len(traces) != len(refSet.Traces) {
+			t.Fatalf("decoded %d traces, ReadSet decoded %d", len(traces), len(refSet.Traces))
+		}
+		for i := range traces {
+			if labels[i] != refSet.Labels[i] {
+				t.Fatalf("trace %d label %d, want %d", i, labels[i], refSet.Labels[i])
+			}
+			if len(traces[i]) != len(refSet.Traces[i]) {
+				t.Fatalf("trace %d: %d samples, want %d", i, len(traces[i]), len(refSet.Traces[i]))
+			}
+			for j := range traces[i] {
+				if math.Float64bits(traces[i][j]) != math.Float64bits(refSet.Traces[i][j]) {
+					t.Fatalf("trace %d sample %d: bits differ from ReadSet", i, j)
 				}
 			}
 		}

@@ -52,52 +52,43 @@ func WriteSet(w io.Writer, s *Set) error {
 	return bw.Flush()
 }
 
-// ReadSet deserializes a Set written by WriteSet.
+// readSetChunk bounds ReadSet's per-chunk decode, so a short stream with
+// an inflated header fails on the first missing chunk (with ErrTruncated)
+// instead of forcing a multi-GB up-front allocation.
+const readSetChunk = 4096
+
+// ReadSet deserializes a Set written by WriteSet. It is built on the
+// incremental StreamReader, so a header whose sample count disagrees with
+// the actual payload is rejected at chunk granularity with a typed
+// ErrTruncated error.
 func ReadSet(r io.Reader) (*Set, error) {
-	br := bufio.NewReader(r)
-	magic := make([]byte, 4)
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
-	}
-	if string(magic) != setMagic {
-		return nil, fmt.Errorf("trace: bad magic %q", magic)
-	}
-	var version, count, samples uint32
-	for _, p := range []*uint32{&version, &count, &samples} {
-		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
-			return nil, err
-		}
-	}
-	if version != setVersion {
-		return nil, fmt.Errorf("trace: unsupported version %d", version)
-	}
-	const maxReasonable = 1 << 28
-	if uint64(count)*uint64(samples) > maxReasonable {
-		return nil, fmt.Errorf("trace: header claims %d×%d samples, refusing", count, samples)
+	sr, err := NewStreamReader(bufio.NewReader(r))
+	if err != nil {
+		return nil, err
 	}
 	s := &Set{}
-	for i := uint32(0); i < count; i++ {
-		var l int32
-		if err := binary.Read(br, binary.LittleEndian, &l); err != nil {
+	s.Labels = append(s.Labels, sr.Labels()...)
+	initialCap := sr.Samples()
+	if initialCap > readSetChunk {
+		initialCap = readSetChunk
+	}
+	chunk := make(Trace, initialCap)
+	for {
+		if _, _, err := sr.NextTrace(); err == io.EOF {
+			break
+		} else if err != nil {
 			return nil, err
 		}
-		s.Labels = append(s.Labels, int(l))
-	}
-	buf := make([]byte, 8)
-	// Grow each trace incrementally rather than trusting the header's
-	// sample count up front: a short stream with an inflated header then
-	// fails at EOF instead of forcing a multi-GB allocation.
-	initialCap := samples
-	if initialCap > 4096 {
-		initialCap = 4096
-	}
-	for i := uint32(0); i < count; i++ {
 		t := make(Trace, 0, initialCap)
-		for j := uint32(0); j < samples; j++ {
-			if _, err := io.ReadFull(br, buf); err != nil {
+		for {
+			n, err := sr.ReadChunk(chunk)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
 				return nil, err
 			}
-			t = append(t, math.Float64frombits(binary.LittleEndian.Uint64(buf)))
+			t = append(t, chunk[:n]...)
 		}
 		s.Traces = append(s.Traces, t)
 	}
